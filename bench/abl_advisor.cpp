@@ -1,0 +1,56 @@
+// Ablation A6: the tile-size advisor (the paper's future-work item) vs an
+// exhaustive sweep. For each candidate NB: the advisor's predicted time
+// (from 4 sampled tiles + DAG simulation) next to the actually measured
+// sequential LU time and its simulated 18-worker makespan. The advisor is
+// useful if its ranking matches the sweep's.
+#include "bench_common.hpp"
+
+using namespace hcham;
+
+int main() {
+  bench::print_header(
+      "Ablation A6: tile-size advisor vs exhaustive sweep",
+      "precision,N,NB,predicted_s,measured_sim18_s,advisor_rank,sweep_rank");
+  const double eps = bench::bench_eps();
+  const index_t n = bench::scaled(3000);
+  const int workers = 18;
+  const std::vector<index_t> candidates = {128, 256, 512, 1024};
+
+  bem::FemBemProblem<double> problem(n);
+  auto gen = [&problem](index_t i, index_t j) { return problem.entry(i, j); };
+  core::TileHOptions base = bench::tileh_options(256, eps);
+
+  Timer advisor_timer;
+  auto advice = core::advise_tile_size<double>(
+      problem.points(), gen, base, workers, rt::SchedulerPolicy::Priority,
+      candidates, bench::default_sim_params());
+  const double advisor_cost = advisor_timer.seconds();
+
+  // Exhaustive sweep: measure each candidate for real.
+  std::vector<double> measured;
+  Timer sweep_timer;
+  for (const index_t nb : candidates) {
+    auto m = bench::measure_tileh_lu<double>(n, nb, eps);
+    measured.push_back(bench::simulated_time(
+        m.graph, rt::SchedulerPolicy::Priority, workers, false));
+  }
+  const double sweep_cost = sweep_timer.seconds();
+
+  auto rank_of = [](const std::vector<double>& v, std::size_t i) {
+    int r = 1;
+    for (const double x : v)
+      if (x < v[i]) ++r;
+    return r;
+  };
+  std::vector<double> predicted;
+  for (const auto& c : advice.candidates) predicted.push_back(c.predicted_time_s);
+
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    std::printf("d,%ld,%ld,%.4f,%.4f,%d,%d\n", n, candidates[i],
+                predicted[i], measured[i], rank_of(predicted, i),
+                rank_of(measured, i));
+  }
+  std::printf("# advisor picked NB=%ld in %.2fs; the sweep cost %.2fs\n",
+              advice.best_nb, advisor_cost, sweep_cost);
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Ablation A3: compression kernels (paper Sec. II-A alternatives): SVD
+// truncation vs full-pivot ACA vs partial-pivot ACA on far-field BEM
+// blocks of growing size - rank, achieved error, and time.
+#include "bench_common.hpp"
+#include "rk/compression.hpp"
+
+using namespace hcham;
+
+int main() {
+  bench::print_header(
+      "Ablation A3: compression method on far-field BEM blocks",
+      "precision,block,method,rank,rel_error,time_ms");
+  const double eps = bench::bench_eps();
+  for (const index_t m : {128, 256, 512, 1024}) {
+    // Two clusters at the opposite ends of a long cylinder.
+    bem::FemBemProblem<double> problem(4 * m, 1.0, 16.0);
+    auto gen = [&problem, m](index_t i, index_t j) {
+      return problem.entry(i, 3 * m + j);
+    };
+    la::Matrix<double> exact(m, m);
+    for (index_t j = 0; j < m; ++j)
+      for (index_t i = 0; i < m; ++i) exact(i, j) = gen(i, j);
+    const double exact_norm = la::norm_fro(exact.cview());
+
+    for (const auto method :
+         {rk::CompressionMethod::AcaPartial, rk::CompressionMethod::AcaFull,
+          rk::CompressionMethod::Svd}) {
+      rk::CompressionParams params;
+      params.method = method;
+      params.eps = eps;
+      Timer t;
+      auto c = rk::compress<double>(gen, m, m, params);
+      const double ms = 1e3 * t.seconds();
+      la::Matrix<double> diff = c.dense();
+      la::axpy(-1.0, exact.cview(), diff.view());
+      const char* name =
+          method == rk::CompressionMethod::AcaPartial
+              ? "aca-partial"
+              : (method == rk::CompressionMethod::AcaFull ? "aca-full"
+                                                          : "svd");
+      std::printf("d,%ld,%s,%ld,%.2e,%.2f\n", m, name, c.rank(),
+                  la::norm_fro(diff.cview()) / exact_norm, ms);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Ablation A4: tile representation - Tile-H vs BLR vs dense tiles (the
+// format landscape of the paper's Section III). Reports compression,
+// sequential LU time, and solver forward error for each.
+#include "bench_common.hpp"
+
+using namespace hcham;
+
+int main() {
+  bench::print_header(
+      "Ablation A4: tile representation (Tile-H vs BLR vs dense)",
+      "precision,N,NB,representation,compression,lu_seq_s,forward_error");
+  const double eps = bench::bench_eps();
+  const index_t n = bench::scaled(3000);
+  const index_t nb = bench::default_tile_size(n);
+
+  bem::FemBemProblem<double> problem(n);
+  auto gen = [&problem](index_t i, index_t j) { return problem.entry(i, j); };
+
+  for (auto [fmt, name] :
+       {std::pair{core::TileRepresentation::TileH, "tile-h"},
+        std::pair{core::TileRepresentation::Blr, "blr"},
+        std::pair{core::TileRepresentation::Dense, "dense"}}) {
+    rt::Engine engine;
+    auto opts = bench::tileh_options(nb, eps);
+    opts.format = fmt;
+    auto a = core::TileHMatrix<double>::build(engine, problem.points(), gen,
+                                              opts);
+    auto op = core::TileHMatrix<double>::build(engine, problem.points(), gen,
+                                               opts);
+    const double compression = a.compression_ratio();
+    Timer t;
+    a.factorize(engine);
+    const double lu_s = t.seconds();
+
+    Rng rng(3);
+    std::vector<double> x0(static_cast<std::size_t>(n));
+    for (auto& v : x0) v = rng.uniform(-1, 1);
+    std::vector<double> b(static_cast<std::size_t>(n), 0.0);
+    op.matvec(1.0, x0.data(), 0.0, b.data());
+    la::MatrixView<double> bv(b.data(), n, 1, n);
+    a.solve(engine, bv);
+    double err = 0, ref = 0;
+    for (index_t i = 0; i < n; ++i) {
+      err += (b[static_cast<std::size_t>(i)] -
+              x0[static_cast<std::size_t>(i)]) *
+             (b[static_cast<std::size_t>(i)] -
+              x0[static_cast<std::size_t>(i)]);
+      ref +=
+          x0[static_cast<std::size_t>(i)] * x0[static_cast<std::size_t>(i)];
+    }
+    std::printf("d,%ld,%ld,%s,%.4f,%.3f,%.2e\n", n, nb, name, compression,
+                lu_s, std::sqrt(err / ref));
+  }
+  return 0;
+}

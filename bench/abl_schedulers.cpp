@@ -1,0 +1,31 @@
+// Ablation A1: scheduler-policy sensitivity of the Tile-H LU.
+//
+// The paper (Sec. V-C) observes the three STARPU strategies are close,
+// with prio usually best except on the smallest real cases where the
+// central queue contends. This ablation quantifies the gap across tile
+// sizes at a fixed thread count, and reports the contention-sensitive
+// small-task regime explicitly (tasks per second through one queue).
+#include "bench_common.hpp"
+
+using namespace hcham;
+
+int main() {
+  bench::print_header("Ablation A1: scheduler policies across tile sizes",
+                      "precision,N,NB,policy,threads,time_s,tasks,"
+                      "mean_task_ms");
+  const double eps = bench::bench_eps();
+  const index_t n = bench::scaled(4000);
+  const int threads = 18;
+  for (const index_t nb : {128, 256, 512, 1024}) {
+    auto m = bench::measure_tileh_lu<double>(n, nb, eps);
+    const double mean_task_ms =
+        1e3 * m.graph.total_work_s() /
+        static_cast<double>(std::max<index_t>(1, m.tasks));
+    for (const auto policy : bench::all_policies()) {
+      const double t = bench::simulated_time(m.graph, policy, threads, true);
+      std::printf("d,%ld,%ld,%s,%d,%.4f,%ld,%.3f\n", n, nb,
+                  rt::to_string(policy), threads, t, m.tasks, mean_task_ms);
+    }
+  }
+  return 0;
+}

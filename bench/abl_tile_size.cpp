@@ -1,0 +1,33 @@
+// Ablation A2: the tile-size trade-off the paper leaves as future work
+// ("defining a way to discover the best tile size ... remains an active
+// field").
+//
+// For a fixed N: small NB exposes more tasks (better scaling) but worse
+// per-tile compression and more tiled-update flops; large NB approaches
+// the pure H-matrix but starves the runtime. Reports sequential time,
+// simulated 35-worker time, parallelism (tasks), memory (compression).
+#include "bench_common.hpp"
+
+using namespace hcham;
+
+int main() {
+  bench::print_header("Ablation A2: tile-size trade-off at fixed N",
+                      "precision,N,NB,seq_time_s,sim35_time_s,speedup,"
+                      "tasks,compression");
+  const double eps = bench::bench_eps();
+  const index_t n = bench::scaled(4000);
+  for (const index_t nb : {128, 256, 512, 1024, 2048}) {
+    if (nb > n) continue;
+    auto m = bench::measure_tileh_lu<double>(n, nb, eps);
+    const double t35 = bench::simulated_time(
+        m.graph, rt::SchedulerPolicy::Priority, 36, true);
+    // Parallel speedup at matched kernel speed: the simulator replays the
+    // durations scaled to production-BLAS speed, so compare against the
+    // equally-scaled sequential time.
+    const double seq_scaled =
+        m.seq_time_s * bench::default_sim_params().duration_scale;
+    std::printf("d,%ld,%ld,%.3f,%.4f,%.1f,%ld,%.4f\n", n, nb, m.seq_time_s,
+                t35, seq_scaled / t35, m.tasks, m.compression);
+  }
+  return 0;
+}

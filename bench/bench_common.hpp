@@ -1,0 +1,156 @@
+// Shared harness for the per-figure benchmark binaries.
+//
+// Every binary prints CSV rows (comma separated, header first) matching the
+// series of the corresponding paper figure, prefixed by '#'-comment lines
+// describing the setup. Problem sizes default to laptop scale (see
+// DESIGN.md substitution table) and can be scaled with environment
+// variables:
+//   HCHAM_BENCH_SCALE  multiply all N by this factor (default 1.0)
+//   HCHAM_EPS          block accuracy (default 1e-4, the paper's setting)
+//   HCHAM_WORKERS      real worker threads for measured runs (default 1)
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bem/testcase.hpp"
+#include "common/env.hpp"
+#include "common/timer.hpp"
+#include "core/hchameleon.hpp"
+#include "runtime/simulator.hpp"
+
+namespace hcham::bench {
+
+inline double bench_scale() { return env_double("HCHAM_BENCH_SCALE", 1.0); }
+inline double bench_eps() { return env_double("HCHAM_EPS", 1e-4); }
+
+inline index_t scaled(index_t n) {
+  return static_cast<index_t>(static_cast<double>(n) * bench_scale());
+}
+
+/// The thread counts of the paper's Figs. 6-7. "36" means 36 cores with
+/// one reserved for task submission in the Tile-H runs (35 workers).
+inline std::vector<int> paper_thread_counts() { return {1, 2, 3, 9, 18, 36}; }
+
+inline std::vector<rt::SchedulerPolicy> all_policies() {
+  return {rt::SchedulerPolicy::WorkStealing,
+          rt::SchedulerPolicy::LocalityWorkStealing,
+          rt::SchedulerPolicy::Priority};
+}
+
+/// Tile sizes follow the paper's per-N choices scaled down with the
+/// problem: the paper used NB ~ N/40 (real) and ~ N/20..N/10 (complex); at
+/// our scale the H-arithmetic needs a few cluster-leaves per tile, so we
+/// use N/16 clamped to [128, 2048].
+inline index_t default_tile_size(index_t n) {
+  index_t nb = n / 16;
+  if (nb < 128) nb = 128;
+  if (nb > 2048) nb = 2048;
+  return nb;
+}
+
+/// Simulator parameters for the thread-scaling figures: the DAG is
+/// replayed at production kernel speed (durations divided by the measured
+/// speed ratio between MKL-class BLAS on the paper's Skylake core and this
+/// library's scalar kernels, default 10x) against STARPU-class runtime
+/// costs. Override with HCHAM_SIM_SPEEDUP / _TASK_OVERHEAD / _EDGE_OVERHEAD
+/// / _SUBMIT_COST (seconds). See DESIGN.md, substitution table.
+inline rt::SimParams default_sim_params() {
+  rt::SimParams p;
+  p.duration_scale = 1.0 / env_double("HCHAM_SIM_SPEEDUP", 10.0);
+  p.task_overhead_s = env_double("HCHAM_SIM_TASK_OVERHEAD", 2.0e-6);
+  p.edge_overhead_s = env_double("HCHAM_SIM_EDGE_OVERHEAD", 3.0e-7);
+  p.submit_cost_s = env_double("HCHAM_SIM_SUBMIT_COST", 1.0e-6);
+  p.edge_submit_cost_s = env_double("HCHAM_SIM_EDGE_SUBMIT_COST", 2.0e-7);
+  p.dispatch_serial_cost_s = env_double("HCHAM_SIM_DISPATCH_COST", 5.0e-6);
+  return p;
+}
+
+inline core::TileHOptions tileh_options(index_t nb, double eps) {
+  core::TileHOptions opts;
+  opts.tile_size = nb;
+  opts.clustering.leaf_size = 64;
+  opts.hmatrix.compression.eps = eps;
+  return opts;
+}
+
+inline hmat::HMatrixOptions hmat_options(double eps) {
+  hmat::HMatrixOptions opts;
+  opts.compression.eps = eps;
+  return opts;
+}
+
+/// Measured task graph + wall time of one Tile-H LU (sequential execution;
+/// the simulator replays the durations at other worker counts).
+template <typename T>
+struct MeasuredLu {
+  rt::TaskGraph graph;       ///< LU tasks only (assembly excluded)
+  double seq_time_s = 0.0;   ///< wall time of the sequential execution
+  double compression = 0.0;
+  index_t tasks = 0;
+  index_t edges = 0;
+};
+
+template <typename T>
+MeasuredLu<T> measure_tileh_lu(index_t n, index_t nb, double eps) {
+  bem::FemBemProblem<T> problem(n);
+  auto gen = [&problem](index_t i, index_t j) { return problem.entry(i, j); };
+  rt::Engine engine({.num_workers = 1});
+  auto a = core::TileHMatrix<T>::build(engine, problem.points(), gen,
+                                       tileh_options(nb, eps));
+  MeasuredLu<T> out;
+  out.compression = a.compression_ratio();
+  const index_t first = engine.num_tasks();
+  a.factorize_submit(engine);
+  Timer t;
+  engine.wait_all();
+  out.seq_time_s = t.seconds();
+  out.graph = engine.graph().tail_from(first);
+  out.tasks = out.graph.num_tasks();
+  out.edges = out.graph.num_edges();
+  return out;
+}
+
+template <typename T>
+MeasuredLu<T> measure_hmat_lu(index_t n, double eps) {
+  bem::FemBemProblem<T> problem(n);
+  auto gen = [&problem](index_t i, index_t j) { return problem.entry(i, j); };
+  cluster::ClusteringOptions copts;
+  copts.leaf_size = 64;
+  auto tree = std::make_shared<const cluster::ClusterTree>(
+      cluster::ClusterTree::build(problem.points(), copts));
+  auto h = hmat::build_hmatrix<T>(tree, tree->root(), tree->root(), gen,
+                                  hmat_options(eps));
+  MeasuredLu<T> out;
+  out.compression = h.compression_ratio();
+  rt::Engine engine({.num_workers = 1});
+  core::HluTaskGraph<T> graph(engine, h, rk::TruncationParams{eps, -1});
+  graph.submit();
+  Timer t;
+  engine.wait_all();
+  out.seq_time_s = t.seconds();
+  out.graph = engine.graph();
+  out.tasks = out.graph.num_tasks();
+  out.edges = out.graph.num_edges();
+  return out;
+}
+
+/// Simulated LU time at `threads` (paper x-axis). Tile-H runs reserve one
+/// core for submission at the top count (the paper's "36 (35)").
+inline double simulated_time(const rt::TaskGraph& g,
+                             rt::SchedulerPolicy policy, int threads,
+                             bool reserve_submission_core) {
+  int workers = threads;
+  if (reserve_submission_core && threads >= 36) workers = threads - 1;
+  return rt::simulate(g, policy, workers, default_sim_params()).makespan_s;
+}
+
+inline void print_header(const char* figure, const std::string& columns) {
+  std::printf("# %s\n", figure);
+  std::printf("# eps=%.1e scale=%.2f (HCHAM_BENCH_SCALE)\n", bench_eps(),
+              bench_scale());
+  std::printf("%s\n", columns.c_str());
+}
+
+}  // namespace hcham::bench

@@ -1,0 +1,55 @@
+// Figure 4: compression ratio (stored / dense) of H-Chameleon (Tile-H,
+// full lines in the paper) vs HMAT (classical H-matrix, dashed lines) as a
+// function of the tile size NB, for real (d) and complex (z) double
+// precision and several matrix dimensions.
+//
+// Expected shape (paper Sec. V-C): the difference between the two versions
+// is negligible at every NB; the HMAT value is flat in NB (its structure
+// does not depend on the tiling); complex ratios exceed real ones.
+#include "bench_common.hpp"
+
+using namespace hcham;
+
+template <typename T>
+void run(const std::vector<index_t>& ns, const std::vector<index_t>& nbs) {
+  const double eps = bench::bench_eps();
+  for (const index_t n : ns) {
+    // HMAT reference: one value per N (independent of NB).
+    bem::FemBemProblem<T> problem(n);
+    auto gen = [&problem](index_t i, index_t j) {
+      return problem.entry(i, j);
+    };
+    cluster::ClusteringOptions copts;
+    copts.leaf_size = 64;
+    auto tree = std::make_shared<const cluster::ClusterTree>(
+        cluster::ClusterTree::build(problem.points(), copts));
+    auto h = hmat::build_hmatrix<T>(tree, tree->root(), tree->root(), gen,
+                                    bench::hmat_options(eps));
+    const double hmat_ratio = h.compression_ratio();
+
+    for (const index_t nb : nbs) {
+      if (nb > n) continue;
+      rt::Engine engine;
+      auto th = core::TileHMatrix<T>::build(engine, problem.points(), gen,
+                                            bench::tileh_options(nb, eps));
+      std::printf("%s,%ld,%ld,h-chameleon,%.4f\n", precision_tag<T>(), n, nb,
+                  th.compression_ratio());
+      std::printf("%s,%ld,%ld,hmat,%.4f\n", precision_tag<T>(), n, nb,
+                  hmat_ratio);
+    }
+  }
+}
+
+int main() {
+  bench::print_header(
+      "Fig. 4: compression ratio vs tile size, Tile-H vs HMAT",
+      "precision,N,NB,version,compression");
+  const std::vector<index_t> ns = {bench::scaled(1000), bench::scaled(2000),
+                                   bench::scaled(4000),
+                                   bench::scaled(8000)};
+  const std::vector<index_t> nbs = {128, 256, 512, 1024, 2048};
+  run<double>(ns, nbs);
+  run<std::complex<double>>(
+      {bench::scaled(1000), bench::scaled(2000), bench::scaled(4000)}, nbs);
+  return 0;
+}

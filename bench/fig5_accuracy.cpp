@@ -1,0 +1,107 @@
+// Figure 5: precision of the solver (forward error ||x - x0|| / ||x0||)
+// after the H-LU factorization, as a function of the tile size NB, for
+// H-Chameleon (Tile-H) vs HMAT (classical H-matrix), in real (d) and
+// complex (z) double precision. Accuracy parameter eps = 1e-4 as in the
+// paper.
+//
+// Expected shape: all errors stay within the same order of magnitude as
+// eps; the HMAT value is flat in NB.
+#include "bench_common.hpp"
+
+using namespace hcham;
+
+/// Exact dense matvec from the kernel (the true operator, not the
+/// compressed one): b = A x0.
+template <typename T>
+void exact_matvec(const bem::FemBemProblem<T>& problem, const T* x, T* y) {
+  const index_t n = problem.size();
+  for (index_t i = 0; i < n; ++i) {
+    T acc{};
+    for (index_t j = 0; j < n; ++j) acc += problem.entry(i, j) * x[j];
+    y[i] = acc;
+  }
+}
+
+template <typename T>
+double tileh_forward_error(const bem::FemBemProblem<T>& problem, index_t nb,
+                           double eps) {
+  auto gen = [&problem](index_t i, index_t j) { return problem.entry(i, j); };
+  rt::Engine engine;
+  auto a = core::TileHMatrix<T>::build(
+      engine, problem.points(), gen, bench::tileh_options(nb, eps));
+  const index_t n = problem.size();
+  Rng rng(1234);
+  std::vector<T> x0(static_cast<std::size_t>(n));
+  for (T& v : x0) v = rng.scalar<T>();
+  std::vector<T> b(static_cast<std::size_t>(n));
+  exact_matvec(problem, x0.data(), b.data());
+  a.factorize(engine);
+  la::MatrixView<T> bv(b.data(), n, 1, n);
+  a.solve(engine, bv);
+  double diff = 0, ref = 0;
+  for (index_t i = 0; i < n; ++i) {
+    diff += abs_sq(b[static_cast<std::size_t>(i)] -
+                   x0[static_cast<std::size_t>(i)]);
+    ref += abs_sq(x0[static_cast<std::size_t>(i)]);
+  }
+  return std::sqrt(diff / ref);
+}
+
+template <typename T>
+double hmat_forward_error(const bem::FemBemProblem<T>& problem, double eps) {
+  auto gen = [&problem](index_t i, index_t j) { return problem.entry(i, j); };
+  cluster::ClusteringOptions copts;
+  copts.leaf_size = 64;
+  auto tree = std::make_shared<const cluster::ClusterTree>(
+      cluster::ClusterTree::build(problem.points(), copts));
+  auto h = hmat::build_hmatrix<T>(tree, tree->root(), tree->root(), gen,
+                                  bench::hmat_options(eps));
+  const index_t n = problem.size();
+  Rng rng(1234);
+  std::vector<T> x0(static_cast<std::size_t>(n));
+  for (T& v : x0) v = rng.scalar<T>();
+  std::vector<T> b(static_cast<std::size_t>(n));
+  exact_matvec(problem, x0.data(), b.data());
+  if (hmat::hlu(h, rk::TruncationParams{eps, -1}) != 0) return 1e30;
+  // Permute, solve, unpermute.
+  std::vector<T> bp(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i)
+    bp[static_cast<std::size_t>(i)] = b[tree->perm(i)];
+  la::MatrixView<T> bv(bp.data(), n, 1, n);
+  hmat::hlu_solve(h, bv);
+  double diff = 0, ref = 0;
+  for (index_t i = 0; i < n; ++i) {
+    diff += abs_sq(bp[static_cast<std::size_t>(i)] -
+                   x0[static_cast<std::size_t>(tree->perm(i))]);
+    ref += abs_sq(x0[static_cast<std::size_t>(i)]);
+  }
+  return std::sqrt(diff / ref);
+}
+
+template <typename T>
+void run(const std::vector<index_t>& ns, const std::vector<index_t>& nbs) {
+  const double eps = bench::bench_eps();
+  for (const index_t n : ns) {
+    bem::FemBemProblem<T> problem(n);
+    const double hmat_err = hmat_forward_error(problem, eps);
+    for (const index_t nb : nbs) {
+      if (nb > n) continue;
+      std::printf("%s,%ld,%ld,h-chameleon,%.3e\n", precision_tag<T>(), n, nb,
+                  tileh_forward_error(problem, nb, eps));
+      std::printf("%s,%ld,%ld,hmat,%.3e\n", precision_tag<T>(), n, nb,
+                  hmat_err);
+    }
+  }
+}
+
+int main() {
+  bench::print_header(
+      "Fig. 5: solver forward error vs tile size, Tile-H vs HMAT",
+      "precision,N,NB,version,forward_error");
+  const std::vector<index_t> ns = {bench::scaled(1000), bench::scaled(2000),
+                                   bench::scaled(4000)};
+  const std::vector<index_t> nbs = {128, 256, 512, 1024};
+  run<double>(ns, nbs);
+  run<std::complex<double>>({bench::scaled(1000), bench::scaled(2000)}, nbs);
+  return 0;
+}

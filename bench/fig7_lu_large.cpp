@@ -1,0 +1,50 @@
+// Figure 7: multicore LU factorization time vs thread count (larger
+// dimensions) - same protocol as Fig. 6 at bigger N.
+//
+// Default sizes are scaled to the host (see DESIGN.md); export
+// HCHAM_BENCH_SCALE to grow them and HCHAM_FIG7_COMPLEX_MAX to extend the
+// complex sweep.
+#include "bench_common.hpp"
+
+using namespace hcham;
+
+template <typename T>
+void run(const std::vector<index_t>& ns) {
+  const double eps = bench::bench_eps();
+  for (const index_t n : ns) {
+    const index_t nb = bench::default_tile_size(n);
+    auto tileh = bench::measure_tileh_lu<T>(n, nb, eps);
+    auto hm = bench::measure_hmat_lu<T>(n, eps);
+    std::printf("# %s N=%ld NB=%ld: tile-h %ld tasks/%ld deps (seq %.2fs), "
+                "hmat %ld tasks/%ld deps (seq %.2fs)\n",
+                precision_tag<T>(), n, nb, tileh.tasks, tileh.edges,
+                tileh.seq_time_s, hm.tasks, hm.edges, hm.seq_time_s);
+    for (const int threads : bench::paper_thread_counts()) {
+      std::printf("%s,%ld,%d,hmat,%.4f\n", precision_tag<T>(), n, threads,
+                  bench::simulated_time(hm.graph,
+                                        rt::SchedulerPolicy::Priority,
+                                        threads, false));
+      for (const auto policy : bench::all_policies()) {
+        std::printf("%s,%ld,%d,%s,%.4f\n", precision_tag<T>(), n, threads,
+                    rt::to_string(policy),
+                    bench::simulated_time(tileh.graph, policy, threads,
+                                          true));
+      }
+    }
+  }
+}
+
+int main() {
+  bench::print_header(
+      "Fig. 7: LU time vs threads (larger dimensions), HMAT vs Tile-H "
+      "schedulers [simulated scaling, see DESIGN.md]",
+      "precision,N,threads,version,time_s");
+  run<double>({bench::scaled(6000), bench::scaled(8000),
+               bench::scaled(12000)});
+  const long zmax = env_long("HCHAM_FIG7_COMPLEX_MAX", 8000);
+  std::vector<index_t> zs;
+  for (index_t n : {6000, 8000, 12000})
+    if (n <= zmax) zs.push_back(bench::scaled(n));
+  run<std::complex<double>>(zs);
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Micro-benchmarks of the dense substrate (the MKL replacement): GEMM,
+// TRSM, GETRF, QR, SVD, and ACA across sizes. google-benchmark harness.
+#include <benchmark/benchmark.h>
+
+#include "la/la.hpp"
+#include "rk/aca.hpp"
+
+using namespace hcham;
+
+static void BM_Gemm(benchmark::State& state) {
+  const index_t n = state.range(0);
+  auto a = la::Matrix<double>::random(n, n, 1);
+  auto b = la::Matrix<double>::random(n, n, 2);
+  la::Matrix<double> c(n, n);
+  for (auto _ : state) {
+    la::gemm(la::Op::NoTrans, la::Op::NoTrans, 1.0, a.cview(), b.cview(),
+             0.0, c.view());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      2.0 * static_cast<double>(n) * static_cast<double>(n) *
+          static_cast<double>(n) * static_cast<double>(state.iterations()) /
+          1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+static void BM_GemmComplex(benchmark::State& state) {
+  using Z = std::complex<double>;
+  const index_t n = state.range(0);
+  auto a = la::Matrix<Z>::random(n, n, 1);
+  auto b = la::Matrix<Z>::random(n, n, 2);
+  la::Matrix<Z> c(n, n);
+  for (auto _ : state) {
+    la::gemm(la::Op::NoTrans, la::Op::NoTrans, Z(1), a.cview(), b.cview(),
+             Z(0), c.view());
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_GemmComplex)->Arg(64)->Arg(256);
+
+static void BM_Trsm(benchmark::State& state) {
+  const index_t n = state.range(0);
+  auto a = la::Matrix<double>::random(n, n, 3);
+  for (index_t i = 0; i < n; ++i) a(i, i) += 4.0;
+  auto b = la::Matrix<double>::random(n, n, 4);
+  for (auto _ : state) {
+    auto x = la::Matrix<double>::from_view(b.cview());
+    la::trsm(la::Side::Left, la::Uplo::Lower, la::Op::NoTrans,
+             la::Diag::Unit, 1.0, a.cview(), x.view());
+    benchmark::DoNotOptimize(x.data());
+  }
+}
+BENCHMARK(BM_Trsm)->Arg(128)->Arg(512);
+
+static void BM_GetrfNopiv(benchmark::State& state) {
+  const index_t n = state.range(0);
+  auto a = la::Matrix<double>::random(n, n, 5);
+  for (index_t i = 0; i < n; ++i) a(i, i) += static_cast<double>(n);
+  for (auto _ : state) {
+    auto lu = la::Matrix<double>::from_view(a.cview());
+    benchmark::DoNotOptimize(la::getrf_nopiv(lu.view()));
+  }
+}
+BENCHMARK(BM_GetrfNopiv)->Arg(128)->Arg(512);
+
+static void BM_GetrfPivoted(benchmark::State& state) {
+  const index_t n = state.range(0);
+  auto a = la::Matrix<double>::random(n, n, 6);
+  std::vector<index_t> ipiv(static_cast<std::size_t>(n));
+  for (auto _ : state) {
+    auto lu = la::Matrix<double>::from_view(a.cview());
+    benchmark::DoNotOptimize(la::getrf(lu.view(), ipiv.data()));
+  }
+}
+BENCHMARK(BM_GetrfPivoted)->Arg(128)->Arg(512);
+
+static void BM_QrThin(benchmark::State& state) {
+  const index_t m = state.range(0);
+  auto a = la::Matrix<double>::random(m, 32, 7);
+  for (auto _ : state) {
+    la::Matrix<double> q, r;
+    la::qr_thin<double>(a.cview(), q, r);
+    benchmark::DoNotOptimize(q.data());
+  }
+}
+BENCHMARK(BM_QrThin)->Arg(256)->Arg(1024);
+
+static void BM_SvdJacobi(benchmark::State& state) {
+  const index_t n = state.range(0);
+  auto a = la::Matrix<double>::random(n, n, 8);
+  for (auto _ : state) {
+    auto r = la::svd<double>(a.cview());
+    benchmark::DoNotOptimize(r.sigma.data());
+  }
+}
+BENCHMARK(BM_SvdJacobi)->Arg(32)->Arg(64)->Arg(128);
+
+static void BM_AcaPartial(benchmark::State& state) {
+  const index_t m = state.range(0);
+  // Smooth low-rank kernel block.
+  auto gen = [m](index_t i, index_t j) {
+    const double x = static_cast<double>(i) / static_cast<double>(m);
+    const double y = 2.0 + static_cast<double>(j) / static_cast<double>(m);
+    return 1.0 / (x + y);
+  };
+  for (auto _ : state) {
+    auto r = rk::aca_partial<double>(gen, m, m, 1e-6);
+    benchmark::DoNotOptimize(r.rank());
+  }
+}
+BENCHMARK(BM_AcaPartial)->Arg(256)->Arg(1024);
+
+BENCHMARK_MAIN();

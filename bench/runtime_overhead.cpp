@@ -1,0 +1,86 @@
+// Runtime overhead micro-benchmarks: task submission with dependency
+// inference, and execution of empty task graphs of the shapes that matter
+// for the paper's analysis (chains, fans, tiled-LU DAGs). These numbers
+// calibrate the simulator's per-task / per-edge overhead model.
+#include <benchmark/benchmark.h>
+
+#include "runtime/engine.hpp"
+
+using namespace hcham;
+
+static void BM_SubmitIndependent(benchmark::State& state) {
+  const index_t n = state.range(0);
+  for (auto _ : state) {
+    rt::Engine eng;
+    std::vector<rt::Handle> hs;
+    hs.reserve(static_cast<std::size_t>(n));
+    for (index_t i = 0; i < n; ++i) hs.push_back(eng.register_data());
+    for (index_t i = 0; i < n; ++i)
+      eng.submit([] {}, {rt::write(hs[static_cast<std::size_t>(i)])});
+    eng.wait_all();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SubmitIndependent)->Arg(1000)->Arg(10000);
+
+static void BM_SubmitChain(benchmark::State& state) {
+  const index_t n = state.range(0);
+  for (auto _ : state) {
+    rt::Engine eng;
+    auto h = eng.register_data();
+    for (index_t i = 0; i < n; ++i) eng.submit([] {}, {rt::readwrite(h)});
+    eng.wait_all();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SubmitChain)->Arg(1000)->Arg(10000);
+
+static void BM_SubmitManyDeps(benchmark::State& state) {
+  // One task reading many handles written by many producers: the HMAT
+  // fine-grain pattern.
+  const index_t deps = state.range(0);
+  for (auto _ : state) {
+    rt::Engine eng;
+    std::vector<rt::Access> acc;
+    for (index_t i = 0; i < deps; ++i) {
+      auto h = eng.register_data();
+      eng.submit([] {}, {rt::write(h)});
+      acc.push_back(rt::read(h));
+    }
+    eng.submit([] {}, acc);
+    eng.wait_all();
+  }
+  state.SetItemsProcessed(state.iterations() * deps);
+}
+BENCHMARK(BM_SubmitManyDeps)->Arg(100)->Arg(1000);
+
+static void BM_TiledLuDagEmpty(benchmark::State& state) {
+  // Empty-bodied tiled-LU DAG: submission + scheduling cost only.
+  const index_t nt = state.range(0);
+  for (auto _ : state) {
+    rt::Engine eng({.num_workers = 2});
+    std::vector<rt::Handle> tiles(
+        static_cast<std::size_t>(nt * nt));
+    for (auto& h : tiles) h = eng.register_data();
+    auto at = [&](index_t i, index_t j) {
+      return tiles[static_cast<std::size_t>(i * nt + j)];
+    };
+    for (index_t k = 0; k < nt; ++k) {
+      eng.submit([] {}, {rt::readwrite(at(k, k))}, 3);
+      for (index_t j = k + 1; j < nt; ++j)
+        eng.submit([] {}, {rt::read(at(k, k)), rt::readwrite(at(k, j))}, 2);
+      for (index_t i = k + 1; i < nt; ++i)
+        eng.submit([] {}, {rt::read(at(k, k)), rt::readwrite(at(i, k))}, 2);
+      for (index_t i = k + 1; i < nt; ++i)
+        for (index_t j = k + 1; j < nt; ++j)
+          eng.submit([] {},
+                     {rt::read(at(i, k)), rt::read(at(k, j)),
+                      rt::readwrite(at(i, j))},
+                     1);
+    }
+    eng.wait_all();
+  }
+}
+BENCHMARK(BM_TiledLuDagEmpty)->Arg(8)->Arg(16);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,47 @@
+#include "bem/cylinder.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace hcham::bem {
+
+CylinderMesh make_cylinder(index_t n, double radius, double height) {
+  HCHAM_CHECK(n >= 1 && radius > 0.0 && height > 0.0);
+  const double circumference = 2.0 * std::numbers::pi * radius;
+
+  // Choose the grid so that the angular step ~ the axial step:
+  //   per_ring / rings ~ circumference / height, per_ring * rings >= n.
+  const double ideal_per_ring =
+      std::sqrt(static_cast<double>(n) * circumference / height);
+  const index_t per_ring =
+      std::max<index_t>(1, static_cast<index_t>(std::llround(ideal_per_ring)));
+  const index_t rings = ceil_div(n, per_ring);
+
+  CylinderMesh mesh;
+  mesh.per_ring = per_ring;
+  mesh.rings = rings;
+  mesh.points.reserve(static_cast<std::size_t>(n));
+
+  const double dz = rings > 1 ? height / static_cast<double>(rings - 1) : 0.0;
+  const double dtheta =
+      2.0 * std::numbers::pi / static_cast<double>(per_ring);
+  for (index_t r = 0; r < rings && static_cast<index_t>(mesh.points.size()) < n;
+       ++r) {
+    const double z = static_cast<double>(r) * dz;
+    // Stagger alternate rings by half a step for a more uniform covering.
+    const double theta0 = (r % 2 == 0) ? 0.0 : 0.5 * dtheta;
+    for (index_t t = 0;
+         t < per_ring && static_cast<index_t>(mesh.points.size()) < n; ++t) {
+      const double theta = theta0 + static_cast<double>(t) * dtheta;
+      mesh.points.push_back(cluster::Point3{radius * std::cos(theta),
+                                            radius * std::sin(theta), z});
+    }
+  }
+
+  const double arc = circumference / static_cast<double>(per_ring);
+  mesh.mesh_step = rings > 1 ? std::min(arc, dz) : arc;
+  return mesh;
+}
+
+}  // namespace hcham::bem

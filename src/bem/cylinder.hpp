@@ -1,0 +1,27 @@
+// Cylinder point-cloud generator, following the paper's TEST_FEMBEM test
+// case (Section V-A): for any number of unknowns n, a cloud of points on
+// the surface of a cylinder of chosen height and radius, equally spaced in
+// both surface directions.
+#pragma once
+
+#include <vector>
+
+#include "cluster/point.hpp"
+#include "common/config.hpp"
+
+namespace hcham::bem {
+
+struct CylinderMesh {
+  std::vector<cluster::Point3> points;
+  double mesh_step = 0.0;  ///< characteristic spacing between neighbours
+  index_t rings = 0;       ///< number of circles along the axis
+  index_t per_ring = 0;    ///< points per circle
+};
+
+/// Generate `n` points on the lateral surface of a cylinder with axis z.
+/// The angular and axial spacings are balanced so the grid is (nearly)
+/// uniform in both directions.
+CylinderMesh make_cylinder(index_t n, double radius = 1.0,
+                           double height = 4.0);
+
+}  // namespace hcham::bem

@@ -1,0 +1,57 @@
+// Admissibility conditions for block cluster trees (paper Definition 1).
+//
+// A block (s, t) that satisfies the condition is not subdivided further and
+// is approximated by a low-rank block. The strong (standard) condition is
+//   min/max(diam(s), diam(t)) <= eta * dist(s, t);
+// the weak condition admits every off-diagonal block, i.e. any pair of
+// distinct clusters (the Block Separable / HODLR-style format discussed in
+// the paper's related-work section).
+#pragma once
+
+#include <algorithm>
+
+#include "cluster/bbox.hpp"
+
+namespace hcham::cluster {
+
+struct AdmissibilityCondition {
+  enum class Kind { Strong, Weak, None };
+
+  Kind kind = Kind::Strong;
+  double eta = 2.0;
+  /// Strong variant: compare eta*dist against min (hmat-oss default) or max
+  /// (Hackbusch's standard condition) of the two diameters.
+  bool use_min_diameter = false;
+
+  /// `same_cluster` marks diagonal blocks (row cluster == column cluster),
+  /// which no condition ever admits.
+  bool admissible(const BBox& s, const BBox& t,
+                  bool same_cluster = false) const {
+    switch (kind) {
+      case Kind::None:
+        return false;
+      case Kind::Weak:
+        return !same_cluster;
+      case Kind::Strong: {
+        const double ds = s.diameter();
+        const double dt = t.diameter();
+        const double d = use_min_diameter ? std::min(ds, dt)
+                                          : std::max(ds, dt);
+        return d <= eta * BBox::distance(s, t);
+      }
+    }
+    return false;
+  }
+
+  static AdmissibilityCondition strong(double eta = 2.0) {
+    return AdmissibilityCondition{Kind::Strong, eta, false};
+  }
+  static AdmissibilityCondition weak() {
+    return AdmissibilityCondition{Kind::Weak, 0.0, false};
+  }
+  static AdmissibilityCondition none() {
+    return AdmissibilityCondition{Kind::None, 0.0, false};
+  }
+};
+
+}  // namespace hcham::cluster

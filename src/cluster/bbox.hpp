@@ -1,0 +1,70 @@
+// Axis-aligned bounding boxes; diameters and distances drive the
+// admissibility condition of the block cluster tree.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "cluster/point.hpp"
+
+namespace hcham::cluster {
+
+class BBox {
+ public:
+  BBox() = default;
+
+  void extend(const Point3& p) {
+    lo_[0] = std::min(lo_[0], p.x);
+    lo_[1] = std::min(lo_[1], p.y);
+    lo_[2] = std::min(lo_[2], p.z);
+    hi_[0] = std::max(hi_[0], p.x);
+    hi_[1] = std::max(hi_[1], p.y);
+    hi_[2] = std::max(hi_[2], p.z);
+  }
+
+  bool valid() const { return lo_[0] <= hi_[0]; }
+
+  double lo(int dim) const { return lo_[dim]; }
+  double hi(int dim) const { return hi_[dim]; }
+  double extent(int dim) const {
+    return valid() ? hi_[dim] - lo_[dim] : 0.0;
+  }
+
+  /// Euclidean diameter of the box.
+  double diameter() const {
+    if (!valid()) return 0.0;
+    double s = 0.0;
+    for (int d = 0; d < 3; ++d) s += extent(d) * extent(d);
+    return std::sqrt(s);
+  }
+
+  /// Index of the widest axis (the split direction for bisection).
+  int largest_dimension() const {
+    int best = 0;
+    for (int d = 1; d < 3; ++d)
+      if (extent(d) > extent(best)) best = d;
+    return best;
+  }
+
+  /// Euclidean gap distance between two boxes (0 if they overlap).
+  static double distance(const BBox& a, const BBox& b) {
+    double s = 0.0;
+    for (int d = 0; d < 3; ++d) {
+      const double gap =
+          std::max({0.0, a.lo_[d] - b.hi_[d], b.lo_[d] - a.hi_[d]});
+      s += gap * gap;
+    }
+    return std::sqrt(s);
+  }
+
+ private:
+  double lo_[3] = {std::numeric_limits<double>::infinity(),
+                   std::numeric_limits<double>::infinity(),
+                   std::numeric_limits<double>::infinity()};
+  double hi_[3] = {-std::numeric_limits<double>::infinity(),
+                   -std::numeric_limits<double>::infinity(),
+                   -std::numeric_limits<double>::infinity()};
+};
+
+}  // namespace hcham::cluster

@@ -1,0 +1,190 @@
+#include "cluster/cluster_tree.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace hcham::cluster {
+
+index_t ClusterTree::add_node(index_t offset, index_t size, index_t parent) {
+  Node n;
+  n.offset = offset;
+  n.size = size;
+  n.parent = parent;
+  n.box = compute_box(offset, size);
+  nodes_.push_back(n);
+  return static_cast<index_t>(nodes_.size()) - 1;
+}
+
+BBox ClusterTree::compute_box(index_t offset, index_t size) const {
+  BBox box;
+  for (index_t p = offset; p < offset + size; ++p)
+    box.extend(points_[static_cast<std::size_t>(
+        perm_[static_cast<std::size_t>(p)])]);
+  return box;
+}
+
+void ClusterTree::subdivide(index_t node_index, const ClusteringOptions& opts) {
+  // nodes_ may reallocate during recursion: copy the POD fields we need.
+  const index_t offset = nodes_[static_cast<std::size_t>(node_index)].offset;
+  const index_t size = nodes_[static_cast<std::size_t>(node_index)].size;
+  if (size <= opts.leaf_size) return;
+
+  const BBox box = nodes_[static_cast<std::size_t>(node_index)].box;
+  const int dim = box.largest_dimension();
+  auto begin = perm_.begin() + offset;
+  auto end = begin + size;
+  auto coord = [&](index_t idx) {
+    return points_[static_cast<std::size_t>(idx)][dim];
+  };
+
+  index_t left_size = 0;
+  if (opts.strategy == Bisection::Median) {
+    left_size = size / 2;
+    std::nth_element(begin, begin + left_size, end,
+                     [&](index_t a, index_t b) { return coord(a) < coord(b); });
+  } else {
+    const double mid = 0.5 * (box.lo(dim) + box.hi(dim));
+    auto it = std::partition(begin, end,
+                             [&](index_t a) { return coord(a) < mid; });
+    left_size = it - begin;
+    // Degenerate geometry (all points on one side): fall back to median so
+    // the recursion always makes progress.
+    if (left_size == 0 || left_size == size) {
+      left_size = size / 2;
+      std::nth_element(begin, begin + left_size, end, [&](index_t a, index_t b) {
+        return coord(a) < coord(b);
+      });
+    }
+  }
+
+  const index_t left = add_node(offset, left_size, node_index);
+  nodes_[static_cast<std::size_t>(node_index)].child[0] = left;
+  subdivide(left, opts);
+  const index_t right = add_node(offset + left_size, size - left_size,
+                                 node_index);
+  nodes_[static_cast<std::size_t>(node_index)].child[1] = right;
+  subdivide(right, opts);
+}
+
+ClusterTree ClusterTree::build(std::vector<Point3> points,
+                               const ClusteringOptions& opts) {
+  HCHAM_CHECK(opts.leaf_size >= 1);
+  ClusterTree t;
+  t.points_ = std::move(points);
+  t.perm_.resize(t.points_.size());
+  std::iota(t.perm_.begin(), t.perm_.end(), index_t{0});
+  const index_t n = static_cast<index_t>(t.perm_.size());
+  const index_t root = t.add_node(0, n, -1);
+  if (n > 0) t.subdivide(root, opts);
+  return t;
+}
+
+index_t ClusterTree::depth() const {
+  if (nodes_.empty()) return 0;
+  // Iterative DFS to avoid recursion on pathological trees.
+  std::vector<std::pair<index_t, index_t>> stack{{root(), 1}};
+  index_t best = 0;
+  while (!stack.empty()) {
+    auto [idx, d] = stack.back();
+    stack.pop_back();
+    best = std::max(best, d);
+    const Node& nd = node(idx);
+    for (int c = 0; c < 2; ++c)
+      if (nd.child[c] >= 0) stack.emplace_back(nd.child[c], d + 1);
+  }
+  return best;
+}
+
+index_t ClusterTree::num_leaves() const {
+  index_t count = 0;
+  for (const Node& nd : nodes_)
+    if (nd.is_leaf()) ++count;
+  return count;
+}
+
+std::vector<index_t> ClusterTree::leaves_under(index_t node_index) const {
+  std::vector<index_t> result;
+  std::vector<index_t> stack{node_index};
+  while (!stack.empty()) {
+    const index_t idx = stack.back();
+    stack.pop_back();
+    const Node& nd = node(idx);
+    if (nd.is_leaf()) {
+      result.push_back(idx);
+    } else {
+      // Push right first so leaves come out left-to-right.
+      if (nd.child[1] >= 0) stack.push_back(nd.child[1]);
+      if (nd.child[0] >= 0) stack.push_back(nd.child[0]);
+    }
+  }
+  return result;
+}
+
+// --- NTilesRecursive (paper Algorithm 2) ---------------------------------
+
+class TileClusteringBuilder {
+ public:
+  TileClusteringBuilder(std::vector<Point3> points, index_t nb,
+                        const ClusteringOptions& opts)
+      : nb_(nb), opts_(opts) {
+    tree_.points_ = std::move(points);
+    tree_.perm_.resize(tree_.points_.size());
+    std::iota(tree_.perm_.begin(), tree_.perm_.end(), index_t{0});
+  }
+
+  TileClustering run() {
+    const index_t n = static_cast<index_t>(tree_.perm_.size());
+    const index_t root = tree_.add_node(0, n, -1);
+    if (n > 0) ntiles_recursive(root);
+    TileClustering result;
+    result.tree = std::move(tree_);
+    result.tile_roots = std::move(tile_roots_);
+    result.tile_size = nb_;
+    return result;
+  }
+
+ private:
+  /// Pseudo-bisection aligned with the tile size along the largest
+  /// dimension: sizeL = NB * ceil(nt / 2) (Algorithm 2, lines 5-10).
+  void ntiles_recursive(index_t node_index) {
+    const index_t offset = tree_.nodes_[static_cast<std::size_t>(node_index)].offset;
+    const index_t size = tree_.nodes_[static_cast<std::size_t>(node_index)].size;
+    const index_t nt = ceil_div(size, nb_);
+    if (nt <= 1) {
+      // This node is a tile: refine it with the ordinary bisection.
+      tile_roots_.push_back(node_index);
+      tree_.subdivide(node_index, opts_);
+      return;
+    }
+    const BBox box = tree_.nodes_[static_cast<std::size_t>(node_index)].box;
+    const int dim = box.largest_dimension();
+    const index_t size_l = nb_ * ceil_div(nt, 2);
+    HCHAM_DCHECK(size_l > 0 && size_l < size);
+    auto begin = tree_.perm_.begin() + offset;
+    std::nth_element(begin, begin + size_l, begin + size,
+                     [&](index_t a, index_t b) {
+                       return tree_.points_[static_cast<std::size_t>(a)][dim] <
+                              tree_.points_[static_cast<std::size_t>(b)][dim];
+                     });
+    const index_t left = tree_.add_node(offset, size_l, node_index);
+    tree_.nodes_[static_cast<std::size_t>(node_index)].child[0] = left;
+    ntiles_recursive(left);
+    const index_t right =
+        tree_.add_node(offset + size_l, size - size_l, node_index);
+    tree_.nodes_[static_cast<std::size_t>(node_index)].child[1] = right;
+    ntiles_recursive(right);
+  }
+
+  ClusterTree tree_;
+  std::vector<index_t> tile_roots_;
+  index_t nb_;
+  ClusteringOptions opts_;
+};
+
+TileClustering build_ntiles_clustering(std::vector<Point3> points, index_t nb,
+                                       const ClusteringOptions& opts) {
+  HCHAM_CHECK(nb >= 1);
+  return TileClusteringBuilder(std::move(points), nb, opts).run();
+}
+
+}  // namespace hcham::cluster

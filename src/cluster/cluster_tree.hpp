@@ -1,0 +1,109 @@
+// Cluster trees over point clouds (paper Definition 1).
+//
+// A cluster tree recursively partitions the index set {0..n-1}. Nodes cover
+// contiguous ranges [offset, offset+size) of an internal permutation; the
+// permutation maps positions in the clustered ordering back to original
+// point indices. Binary bisection (median or geometric) is used, as in
+// hmat-oss.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cluster/bbox.hpp"
+#include "cluster/point.hpp"
+#include "common/config.hpp"
+
+namespace hcham::cluster {
+
+enum class Bisection {
+  Median,     ///< split at the median point along the widest axis
+  Geometric,  ///< split at the spatial midpoint of the widest axis
+};
+
+struct ClusteringOptions {
+  index_t leaf_size = 64;  ///< stop subdividing below this cardinality
+  Bisection strategy = Bisection::Median;
+};
+
+class ClusterTree {
+ public:
+  /// Empty tree; populate via build() or build_ntiles_clustering().
+  ClusterTree() = default;
+
+  struct Node {
+    index_t offset = 0;  ///< first position in the permuted ordering
+    index_t size = 0;    ///< number of points in the cluster
+    BBox box;
+    index_t parent = -1;
+    index_t child[2] = {-1, -1};  ///< node indices; -1 for none
+    bool is_leaf() const { return child[0] < 0; }
+  };
+
+  /// Build a cluster tree over `points` with plain recursive bisection.
+  static ClusterTree build(std::vector<Point3> points,
+                           const ClusteringOptions& opts);
+
+  index_t num_points() const { return static_cast<index_t>(perm_.size()); }
+  index_t num_nodes() const { return static_cast<index_t>(nodes_.size()); }
+  index_t root() const { return 0; }
+
+  const Node& node(index_t i) const {
+    HCHAM_DCHECK(i >= 0 && i < num_nodes());
+    return nodes_[static_cast<std::size_t>(i)];
+  }
+
+  /// Original index of the point at permuted position `pos`.
+  index_t perm(index_t pos) const {
+    return perm_[static_cast<std::size_t>(pos)];
+  }
+  const std::vector<index_t>& permutation() const { return perm_; }
+
+  /// Point at permuted position `pos`.
+  const Point3& point_at(index_t pos) const {
+    return points_[static_cast<std::size_t>(perm(pos))];
+  }
+  const std::vector<Point3>& points() const { return points_; }
+
+  /// Depth of the tree (root = depth 1; empty tree = 0).
+  index_t depth() const;
+  index_t num_leaves() const;
+
+  /// Collect the descendant leaves of `node_index` (for structure dumps).
+  std::vector<index_t> leaves_under(index_t node_index) const;
+
+ private:
+  friend class TileClusteringBuilder;
+
+  index_t add_node(index_t offset, index_t size, index_t parent);
+  BBox compute_box(index_t offset, index_t size) const;
+  /// Recursive bisection of the permuted range owned by `node_index`.
+  void subdivide(index_t node_index, const ClusteringOptions& opts);
+
+  std::vector<Point3> points_;
+  std::vector<index_t> perm_;
+  std::vector<Node> nodes_;
+};
+
+/// Result of the paper's NTilesRecursive clustering (Algorithm 2): one
+/// global cluster tree whose top levels realize a regular partition into
+/// tiles of size NB (the last tile may be smaller), plus the node index of
+/// each tile root in left-to-right order. Within each tile the ordinary
+/// bisection of `opts` refines the clustering.
+struct TileClustering {
+  ClusterTree tree;
+  std::vector<index_t> tile_roots;
+  index_t tile_size = 0;  ///< NB
+
+  index_t num_tiles() const {
+    return static_cast<index_t>(tile_roots.size());
+  }
+};
+
+/// Build the Tile-H clustering: recursive pseudo-bisection aligned with the
+/// tile size along the largest dimension (paper Algorithm 2), then median
+/// bisection inside every tile.
+TileClustering build_ntiles_clustering(std::vector<Point3> points, index_t nb,
+                                       const ClusteringOptions& opts);
+
+}  // namespace hcham::cluster

@@ -1,0 +1,29 @@
+// 3-D points for the geometric clustering of BEM unknowns.
+#pragma once
+
+#include <array>
+#include <cmath>
+
+#include "common/config.hpp"
+
+namespace hcham::cluster {
+
+struct Point3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  double operator[](int dim) const {
+    HCHAM_DCHECK(dim >= 0 && dim < 3);
+    return dim == 0 ? x : (dim == 1 ? y : z);
+  }
+};
+
+inline double distance(const Point3& a, const Point3& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  const double dz = a.z - b.z;
+  return std::sqrt(dx * dx + dy * dy + dz * dz);
+}
+
+}  // namespace hcham::cluster

@@ -1,0 +1,56 @@
+// Core configuration: index types, assertion macros, misc helpers.
+//
+// Everything in the library lives in namespace `hcham`. Indices are signed
+// (std::ptrdiff_t) per the C++ Core Guidelines arithmetic rules; matrix
+// dimensions in this library comfortably fit in 64-bit signed integers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace hcham {
+
+using index_t = std::ptrdiff_t;
+
+/// Thrown on precondition violations detected by HCHAM_CHECK.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* cond, const char* file,
+                                      int line, const std::string& msg) {
+  throw Error(std::string("hcham check failed: ") + cond + " at " + file +
+              ":" + std::to_string(line) + (msg.empty() ? "" : ": " + msg));
+}
+}  // namespace detail
+
+// Always-on precondition check (cheap conditions on API boundaries).
+#define HCHAM_CHECK(cond)                                              \
+  do {                                                                  \
+    if (!(cond))                                                        \
+      ::hcham::detail::check_failed(#cond, __FILE__, __LINE__, "");     \
+  } while (0)
+
+#define HCHAM_CHECK_MSG(cond, msg)                                     \
+  do {                                                                  \
+    if (!(cond))                                                        \
+      ::hcham::detail::check_failed(#cond, __FILE__, __LINE__, (msg));  \
+  } while (0)
+
+// Debug-only check for hot paths.
+#ifndef NDEBUG
+#define HCHAM_DCHECK(cond) HCHAM_CHECK(cond)
+#else
+#define HCHAM_DCHECK(cond) ((void)0)
+#endif
+
+/// Integer ceiling division for non-negative operands.
+constexpr index_t ceil_div(index_t a, index_t b) { return (a + b - 1) / b; }
+
+}  // namespace hcham

@@ -1,0 +1,70 @@
+// Deterministic, splittable pseudo-random generator (xoshiro256**).
+//
+// Tests and workload generators need reproducible streams that do not depend
+// on the standard library's unspecified distributions, so uniform doubles are
+// produced directly from the raw 64-bit output.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+
+namespace hcham {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+    // SplitMix64 seeding, as recommended by the xoshiro authors.
+    std::uint64_t z = seed;
+    for (auto& s : state_) {
+      z += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t t = z;
+      t = (t ^ (t >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      t = (t ^ (t >> 27)) * 0x94d049bb133111ebULL;
+      s = t ^ (t >> 31);
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n).
+  std::uint64_t uniform_index(std::uint64_t n) { return next_u64() % n; }
+
+  /// Scalar in [-1, 1) (+ imaginary part for complex T).
+  template <typename T>
+  T scalar() {
+    if constexpr (std::is_same_v<T, std::complex<double>> ||
+                  std::is_same_v<T, std::complex<float>>) {
+      using R = typename T::value_type;
+      return T(static_cast<R>(uniform(-1.0, 1.0)),
+               static_cast<R>(uniform(-1.0, 1.0)));
+    } else {
+      return static_cast<T>(uniform(-1.0, 1.0));
+    }
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4];
+};
+
+}  // namespace hcham

@@ -1,0 +1,9 @@
+// Umbrella header for H-Chameleon: the Tile-H matrix, its task-parallel
+// LU/solve, the fine-grain HMAT-style baseline, and measurement helpers.
+#pragma once
+
+#include "core/advisor.hpp"     // IWYU pragma: export
+#include "core/hlu_tasks.hpp"   // IWYU pragma: export
+#include "core/metrics.hpp"     // IWYU pragma: export
+#include "core/refinement.hpp"  // IWYU pragma: export
+#include "core/tile_h.hpp"     // IWYU pragma: export

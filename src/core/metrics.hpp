@@ -1,0 +1,41 @@
+// Shared measurement helpers for the experiment harness: forward error
+// (paper Fig. 5 metric) and compression accounting (Fig. 4 metric).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/tile_h.hpp"
+#include "la/norms.hpp"
+
+namespace hcham::core {
+
+/// ||x - x0|| / ||x0|| for the solve A x = b with b = A x0 and a random,
+/// reproducible x0: the paper's forward-error metric. The matrix must
+/// already be factorized; `matvec_exact` supplies the UNfactorized
+/// operator (e.g. a fresh Tile-H matrix or the dense kernel).
+template <typename T, typename Matvec>
+double forward_error_solve(TileHMatrix<T>& factored, rt::Engine& engine,
+                           const Matvec& matvec_exact, std::uint64_t seed) {
+  const index_t n = factored.size();
+  Rng rng(seed);
+  std::vector<T> x0(static_cast<std::size_t>(n));
+  for (T& v : x0) v = rng.scalar<T>();
+  std::vector<T> b(static_cast<std::size_t>(n), T{});
+  matvec_exact(x0.data(), b.data());
+
+  la::MatrixView<T> bv(b.data(), n, 1, n);
+  factored.solve(engine, bv);
+
+  double diff_sq = 0.0;
+  double ref_sq = 0.0;
+  for (index_t i = 0; i < n; ++i) {
+    diff_sq += static_cast<double>(
+        abs_sq(b[static_cast<std::size_t>(i)] - x0[static_cast<std::size_t>(i)]));
+    ref_sq +=
+        static_cast<double>(abs_sq(x0[static_cast<std::size_t>(i)]));
+  }
+  return std::sqrt(diff_sq / ref_sq);
+}
+
+}  // namespace hcham::core

@@ -1,0 +1,275 @@
+// The Tile-H matrix: the paper's contribution (H-Chameleon, Section IV).
+//
+// The matrix is split into regular nt x nt tiles via the NTilesRecursive
+// clustering (Algorithm 2); every tile is an independent H-matrix built
+// over the tile's (row, column) cluster pair of the shared cluster tree.
+// The CHAMELEON-style tiled algorithms then factorize and solve with one
+// task per tile kernel, where each kernel runs hmat-oss-style sequential
+// H-arithmetic (paper Section IV-D). This class is the analogue of the
+// HCHAM_desc_s structure (paper Structure 3): it ties together the tile
+// descriptor ("super"), the cluster tree ("clusters"), the admissibility
+// condition, and the permutation.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cluster/cluster_tree.hpp"
+#include "hmatrix/build.hpp"
+#include "runtime/engine.hpp"
+#include "tile/algorithms.hpp"
+#include "tile/tile_desc.hpp"
+
+namespace hcham::core {
+
+/// Per-tile representation (paper Section III discusses the alternatives):
+///  * TileH — every tile is an H-matrix (the paper's contribution);
+///  * Blr   — Block Low-Rank: every tile is a single low-rank or dense
+///            block (no hierarchy inside tiles; simpler, more memory);
+///  * Dense — plain dense tiles (the classic CHAMELEON baseline).
+enum class TileRepresentation : std::int8_t { TileH, Blr, Dense };
+
+struct TileHOptions {
+  index_t tile_size = 256;  ///< NB
+  TileRepresentation format = TileRepresentation::TileH;
+  cluster::ClusteringOptions clustering;  ///< within-tile refinement
+  hmat::HMatrixOptions hmatrix;           ///< admissibility + compression
+
+  rk::TruncationParams truncation() const {
+    return hmatrix.compression.truncation();
+  }
+};
+
+template <typename T>
+class TileHMatrix {
+ public:
+  /// Build the Tile-H matrix of the kernel `gen` (original indices) over
+  /// `points`. Assembly is task-parallel: one task per tile, executed by
+  /// `engine` before returning.
+  template <typename Gen>
+  static TileHMatrix build(rt::Engine& engine,
+                           std::vector<cluster::Point3> points,
+                           const Gen& gen, const TileHOptions& opts) {
+    TileHMatrix m(engine, std::move(points), opts);
+    const index_t nt = m.num_tiles();
+    const cluster::ClusterTree* tree = &m.clustering_.tree;
+    for (index_t i = 0; i < nt; ++i) {
+      for (index_t j = 0; j < nt; ++j) {
+        tile::Tile<T>& t = m.desc_->tile(i, j);
+        const hmat::HMatrixOptions hopts = opts.hmatrix;
+        switch (opts.format) {
+          case TileRepresentation::TileH: {
+            hmat::HMatrix<T>* block = t.h.get();
+            engine.submit(
+                [block, gen, hopts] {
+                  hmat::assemble_hmatrix(*block, gen, hopts);
+                },
+                {rt::write(m.desc_->handle(i, j))}, 0, "assemble");
+            break;
+          }
+          case TileRepresentation::Blr: {
+            hmat::HMatrix<T>* block = t.h.get();
+            engine.submit(
+                [block, gen, hopts] { assemble_blr_tile(*block, gen, hopts); },
+                {rt::write(m.desc_->handle(i, j))}, 0, "assemble");
+            break;
+          }
+          case TileRepresentation::Dense: {
+            tile::Tile<T>* tp = &t;
+            const index_t ro = m.desc_->row_offset(i);
+            const index_t co = m.desc_->col_offset(j);
+            engine.submit(
+                [tp, gen, tree, ro, co] {
+                  tp->full.reset(tp->m, tp->n);
+                  for (index_t c = 0; c < tp->n; ++c)
+                    for (index_t r = 0; r < tp->m; ++r)
+                      tp->full(r, c) =
+                          gen(tree->perm(ro + r), tree->perm(co + c));
+                },
+                {rt::write(m.desc_->handle(i, j))}, 0, "assemble");
+            break;
+          }
+        }
+      }
+    }
+    engine.wait_all();
+    return m;
+  }
+
+  index_t size() const { return n_; }
+  index_t num_tiles() const {
+    return static_cast<index_t>(clustering_.tile_roots.size());
+  }
+  index_t tile_size() const { return opts_.tile_size; }
+
+  tile::TileDesc<T>& desc() { return *desc_; }
+  const tile::TileDesc<T>& desc() const { return *desc_; }
+  const cluster::ClusterTree& tree() const { return clustering_.tree; }
+  const TileHOptions& options() const { return opts_; }
+
+  /// The tile (i, j) as an H-matrix.
+  const hmat::HMatrix<T>& block(index_t i, index_t j) const {
+    return *desc_->tile(i, j).h;
+  }
+
+  index_t stored_elements() const { return desc_->stored_elements(); }
+  /// Stored scalars / n^2 (paper Fig. 4 metric).
+  double compression_ratio() const { return desc_->compression_ratio(); }
+
+  /// Submit the tiled H-LU task graph (paper Algorithm 1 with H-kernels).
+  /// Call engine.wait_all() to execute; or use factorize().
+  void factorize_submit(rt::Engine& engine) {
+    tile::tiled_getrf(engine, *desc_, opts_.truncation());
+  }
+
+  void factorize(rt::Engine& engine) {
+    factorize_submit(engine);
+    engine.wait_all();
+  }
+
+  /// Submit the tiled H-Cholesky task graph (A = L L^H; valid for the
+  /// Hermitian positive-definite case, e.g. the real 1/d kernel).
+  void factorize_cholesky_submit(rt::Engine& engine) {
+    tile::tiled_potrf(engine, *desc_, opts_.truncation());
+  }
+
+  void factorize_cholesky(rt::Engine& engine) {
+    factorize_cholesky_submit(engine);
+    engine.wait_all();
+  }
+
+  /// Solve A x = b in the ORIGINAL index ordering, in place, using the
+  /// tiled factors. Executes the solve task graph on `engine`.
+  void solve(rt::Engine& engine, la::MatrixView<T> b) {
+    solve_impl(engine, b, /*cholesky=*/false);
+  }
+
+  /// Solve after factorize_cholesky().
+  void solve_cholesky(rt::Engine& engine, la::MatrixView<T> b) {
+    solve_impl(engine, b, /*cholesky=*/true);
+  }
+
+  /// y = alpha A x + beta y in the ORIGINAL index ordering (sequential;
+  /// used for RHS generation and residual checks).
+  void matvec(T alpha, const T* x, T beta, T* y) const {
+    std::vector<T> xp(static_cast<std::size_t>(n_));
+    std::vector<T> yp(static_cast<std::size_t>(n_), T{});
+    for (index_t i = 0; i < n_; ++i)
+      xp[static_cast<std::size_t>(i)] = x[clustering_.tree.perm(i)];
+    const index_t nt = num_tiles();
+    for (index_t i = 0; i < nt; ++i) {
+      T* yseg = yp.data() + desc_->row_offset(i);
+      for (index_t j = 0; j < nt; ++j) {
+        const T* xseg = xp.data() + desc_->col_offset(j);
+        tile::kernel_gemv(la::Op::NoTrans, T{1}, desc_->tile(i, j), xseg,
+                          yseg);
+      }
+    }
+    for (index_t i = 0; i < n_; ++i) {
+      T& yi = y[clustering_.tree.perm(i)];
+      yi = beta * yi + alpha * yp[static_cast<std::size_t>(i)];
+    }
+  }
+
+  /// Densify in the ORIGINAL ordering (tests / small problems only).
+  la::Matrix<T> to_dense_original() const {
+    la::Matrix<T> perm_dense(n_, n_);
+    const index_t nt = num_tiles();
+    for (index_t i = 0; i < nt; ++i)
+      for (index_t j = 0; j < nt; ++j) {
+        const tile::Tile<T>& t = desc_->tile(i, j);
+        auto dst = perm_dense.block(desc_->row_offset(i),
+                                    desc_->col_offset(j), t.m, t.n);
+        if (t.format == tile::TileFormat::Full) {
+          la::copy(t.full.cview(), dst);
+        } else {
+          dst.set_zero();
+          t.h->add_to_dense(T{1}, dst);
+        }
+      }
+    la::Matrix<T> result(n_, n_);
+    for (index_t j = 0; j < n_; ++j)
+      for (index_t i = 0; i < n_; ++i)
+        result(clustering_.tree.perm(i), clustering_.tree.perm(j)) =
+            perm_dense(i, j);
+    return result;
+  }
+
+ private:
+  /// BLR: the whole tile is one block - low-rank when the tile bounding
+  /// boxes are admissible, dense otherwise.
+  template <typename Gen>
+  static void assemble_blr_tile(hmat::HMatrix<T>& node, const Gen& gen,
+                                const hmat::HMatrixOptions& opts) {
+    const auto& tree = node.tree();
+    const auto& rc = node.row_cluster();
+    const auto& cc = node.col_cluster();
+    auto local_gen = [&](index_t i, index_t j) {
+      return gen(tree.perm(rc.offset + i), tree.perm(cc.offset + j));
+    };
+    if (opts.admissibility.admissible(rc.box, cc.box,
+                                      node.row_node() == node.col_node())) {
+      node.make_rk(
+          rk::compress<T>(local_gen, rc.size, cc.size, opts.compression));
+      return;
+    }
+    la::Matrix<T> dense(rc.size, cc.size);
+    for (index_t j = 0; j < cc.size; ++j)
+      for (index_t i = 0; i < rc.size; ++i) dense(i, j) = local_gen(i, j);
+    node.make_full(std::move(dense));
+  }
+
+  void solve_impl(rt::Engine& engine, la::MatrixView<T> b, bool cholesky) {
+    HCHAM_CHECK(b.rows() == n_);
+    la::Matrix<T> bp(n_, b.cols());
+    for (index_t c = 0; c < b.cols(); ++c)
+      for (index_t i = 0; i < n_; ++i)
+        bp(i, c) = b(clustering_.tree.perm(i), c);
+    if (cholesky) {
+      tile::tiled_potrs(engine, *desc_, bp.view());
+    } else {
+      tile::tiled_getrs(engine, *desc_, bp.view());
+    }
+    engine.wait_all();
+    for (index_t c = 0; c < b.cols(); ++c)
+      for (index_t i = 0; i < n_; ++i)
+        b(clustering_.tree.perm(i), c) = bp(i, c);
+  }
+
+  TileHMatrix(rt::Engine& engine, std::vector<cluster::Point3> points,
+              const TileHOptions& opts)
+      : opts_(opts),
+        n_(static_cast<index_t>(points.size())),
+        clustering_(cluster::build_ntiles_clustering(
+            std::move(points), opts.tile_size, opts.clustering)) {
+    // The tile descriptor mirrors the NTilesRecursive partition: all tiles
+    // have size NB except the trailing one.
+    desc_ = std::make_unique<tile::TileDesc<T>>(engine, n_, n_,
+                                                opts.tile_size);
+    HCHAM_CHECK(desc_->nt() == num_tiles());
+    auto tree_ptr =
+        std::make_shared<const cluster::ClusterTree>(clustering_.tree);
+    for (index_t i = 0; i < num_tiles(); ++i) {
+      for (index_t j = 0; j < num_tiles(); ++j) {
+        tile::Tile<T>& t = desc_->tile(i, j);
+        if (opts.format == TileRepresentation::Dense) {
+          t.format = tile::TileFormat::Full;
+          continue;
+        }
+        t.format = tile::TileFormat::HMat;
+        t.h = std::make_unique<hmat::HMatrix<T>>(
+            tree_ptr,
+            clustering_.tile_roots[static_cast<std::size_t>(i)],
+            clustering_.tile_roots[static_cast<std::size_t>(j)]);
+        HCHAM_CHECK(t.h->rows() == t.m && t.h->cols() == t.n);
+      }
+    }
+  }
+
+  TileHOptions opts_;
+  index_t n_;
+  cluster::TileClustering clustering_;
+  std::unique_ptr<tile::TileDesc<T>> desc_;
+};
+
+}  // namespace hcham::core

@@ -1,0 +1,121 @@
+// Structured updates of H-matrix nodes:
+//   add_rk_to:    C += alpha * (U V^H), distributing the factors down the
+//                 block tree with rounded additions at Rk leaves;
+//   add_dense_to: C += alpha * D for a dense D;
+//   to_rk:        agglomerate an arbitrary H-node into a single RkMatrix.
+// These are the primitives that let H-GEMM land products on targets whose
+// structure differs from the operands'.
+#pragma once
+
+#include "hmatrix/hmatrix.hpp"
+#include "rk/truncation.hpp"
+
+namespace hcham::hmat {
+
+template <typename T>
+void add_rk_to(HMatrix<T>& c, T alpha, const rk::RkMatrix<T>& r,
+               const rk::TruncationParams& tp) {
+  HCHAM_CHECK(c.rows() == r.rows() && c.cols() == r.cols());
+  if (r.is_zero() || alpha == T{}) return;
+  switch (c.kind()) {
+    case HMatrix<T>::Kind::Full:
+      r.add_to(alpha, c.full().view());
+      return;
+    case HMatrix<T>::Kind::Rk:
+      rk::rounded_add(c.rk(), alpha, r, tp);
+      return;
+    case HMatrix<T>::Kind::Hierarchical: {
+      const index_t r0 = c.child(0, 0).rows();
+      const index_t c0 = c.child(0, 0).cols();
+      const index_t k = r.rank();
+      for (int i = 0; i < 2; ++i)
+        for (int j = 0; j < 2; ++j) {
+          HMatrix<T>& ch = c.child(i, j);
+          // Row slices of the factors restricted to the child block.
+          la::Matrix<T> u(ch.rows(), k), v(ch.cols(), k);
+          la::copy<T>(r.u().block(i == 0 ? 0 : r0, 0, ch.rows(), k),
+                      u.view());
+          la::copy<T>(r.v().block(j == 0 ? 0 : c0, 0, ch.cols(), k),
+                      v.view());
+          add_rk_to(ch, alpha, rk::RkMatrix<T>(std::move(u), std::move(v)),
+                    tp);
+        }
+      return;
+    }
+  }
+}
+
+template <typename T>
+void add_dense_to(HMatrix<T>& c, T alpha, la::ConstMatrixView<T> d,
+                  const rk::TruncationParams& tp) {
+  HCHAM_CHECK(c.rows() == d.rows() && c.cols() == d.cols());
+  if (alpha == T{}) return;
+  switch (c.kind()) {
+    case HMatrix<T>::Kind::Full:
+      la::axpy(alpha, d, c.full().view());
+      return;
+    case HMatrix<T>::Kind::Rk:
+      rk::rounded_add(c.rk(), alpha, rk::compress_svd(d, tp), tp);
+      return;
+    case HMatrix<T>::Kind::Hierarchical: {
+      const index_t r0 = c.child(0, 0).rows();
+      const index_t c0 = c.child(0, 0).cols();
+      for (int i = 0; i < 2; ++i)
+        for (int j = 0; j < 2; ++j) {
+          HMatrix<T>& ch = c.child(i, j);
+          add_dense_to(ch, alpha,
+                       d.block(i == 0 ? 0 : r0, j == 0 ? 0 : c0, ch.rows(),
+                               ch.cols()),
+                       tp);
+        }
+      return;
+    }
+  }
+}
+
+/// Agglomerate an H-node into one RkMatrix at the given accuracy. Children
+/// factors are stacked block-diagonally and re-truncated; dense leaves are
+/// SVD-compressed.
+template <typename T>
+rk::RkMatrix<T> to_rk(const HMatrix<T>& h, const rk::TruncationParams& tp) {
+  switch (h.kind()) {
+    case HMatrix<T>::Kind::Full:
+      return rk::compress_svd(h.full().cview(), tp);
+    case HMatrix<T>::Kind::Rk: {
+      rk::RkMatrix<T> copy(h.rows(), h.cols());
+      if (!h.rk().is_zero())
+        copy.set_factors(la::Matrix<T>::from_view(h.rk().u().cview()),
+                         la::Matrix<T>::from_view(h.rk().v().cview()));
+      return copy;
+    }
+    case HMatrix<T>::Kind::Hierarchical: {
+      rk::RkMatrix<T> parts[2][2];
+      index_t total_rank = 0;
+      for (int i = 0; i < 2; ++i)
+        for (int j = 0; j < 2; ++j) {
+          parts[i][j] = to_rk(h.child(i, j), tp);
+          total_rank += parts[i][j].rank();
+        }
+      const index_t r0 = h.child(0, 0).rows();
+      const index_t c0 = h.child(0, 0).cols();
+      la::Matrix<T> u(h.rows(), total_rank), v(h.cols(), total_rank);
+      index_t col = 0;
+      for (int i = 0; i < 2; ++i)
+        for (int j = 0; j < 2; ++j) {
+          const rk::RkMatrix<T>& p = parts[i][j];
+          if (p.rank() == 0) continue;
+          la::copy<T>(p.u().cview(),
+                      u.block(i == 0 ? 0 : r0, col, p.rows(), p.rank()));
+          la::copy<T>(p.v().cview(),
+                      v.block(j == 0 ? 0 : c0, col, p.cols(), p.rank()));
+          col += p.rank();
+        }
+      rk::RkMatrix<T> result(std::move(u), std::move(v));
+      rk::truncate(result, tp);
+      return result;
+    }
+  }
+  return rk::RkMatrix<T>(h.rows(), h.cols());
+}
+
+}  // namespace hcham::hmat

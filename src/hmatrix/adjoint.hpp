@@ -1,0 +1,42 @@
+// Explicit conjugate transpose of an H-matrix: B = A^H with the mirrored
+// block structure. Used by the symmetric factorizations (H-Cholesky updates
+// A22 -= A21 * A21^H) and available as a general utility.
+#pragma once
+
+#include "hmatrix/hmatrix.hpp"
+
+namespace hcham::hmat {
+
+template <typename T>
+HMatrix<T> adjoint_of(const HMatrix<T>& a) {
+  HMatrix<T> result(a.tree_ptr(), a.col_node(), a.row_node());
+  switch (a.kind()) {
+    case HMatrix<T>::Kind::Full: {
+      la::Matrix<T> d(a.cols(), a.rows());
+      for (index_t j = 0; j < a.cols(); ++j)
+        for (index_t i = 0; i < a.rows(); ++i)
+          d(j, i) = conj_if(a.full()(i, j));
+      result.make_full(std::move(d));
+      break;
+    }
+    case HMatrix<T>::Kind::Rk: {
+      // (U V^H)^H = V U^H.
+      rk::RkMatrix<T> r(a.cols(), a.rows());
+      if (!a.rk().is_zero())
+        r.set_factors(la::Matrix<T>::from_view(a.rk().v().cview()),
+                      la::Matrix<T>::from_view(a.rk().u().cview()));
+      result.make_rk(std::move(r));
+      break;
+    }
+    case HMatrix<T>::Kind::Hierarchical: {
+      result.make_hierarchical();
+      for (int i = 0; i < 2; ++i)
+        for (int j = 0; j < 2; ++j)
+          result.child(i, j) = adjoint_of(a.child(j, i));
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace hcham::hmat

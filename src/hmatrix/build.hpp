@@ -1,0 +1,98 @@
+// H-matrix assembly: build the block cluster tree by recursive admissibility
+// testing (paper Definition 1) and fill the leaves from an entry generator.
+//
+// The generator is called with ORIGINAL point indices; the builder applies
+// the cluster tree's permutation, so callers never deal with orderings.
+#pragma once
+
+#include <memory>
+
+#include "cluster/admissibility.hpp"
+#include "hmatrix/hmatrix.hpp"
+#include "rk/compression.hpp"
+
+namespace hcham::hmat {
+
+struct HMatrixOptions {
+  cluster::AdmissibilityCondition admissibility =
+      cluster::AdmissibilityCondition::strong(2.0);
+  rk::CompressionParams compression;  ///< eps defaults to 1e-4 as in the paper
+};
+
+namespace detail {
+
+template <typename T, typename Gen>
+void assemble_node(HMatrix<T>& node, const Gen& gen,
+                   const HMatrixOptions& opts) {
+  const auto& tree = node.tree();
+  const auto& rc = node.row_cluster();
+  const auto& cc = node.col_cluster();
+
+  // Local (block) index -> original point index.
+  auto local_gen = [&](index_t i, index_t j) {
+    return gen(tree.perm(rc.offset + i), tree.perm(cc.offset + j));
+  };
+
+  if (opts.admissibility.admissible(rc.box, cc.box,
+                                    node.row_node() == node.col_node())) {
+    node.make_rk(rk::compress<T>(local_gen, rc.size, cc.size,
+                                 opts.compression));
+    return;
+  }
+  if (rc.is_leaf() || cc.is_leaf()) {
+    la::Matrix<T> dense(rc.size, cc.size);
+    for (index_t j = 0; j < cc.size; ++j)
+      for (index_t i = 0; i < rc.size; ++i) dense(i, j) = local_gen(i, j);
+    node.make_full(std::move(dense));
+    return;
+  }
+  node.make_hierarchical();
+  for (int i = 0; i < 2; ++i)
+    for (int j = 0; j < 2; ++j) assemble_node(node.child(i, j), gen, opts);
+}
+
+}  // namespace detail
+
+/// Assemble an existing (empty) node in place: decide the block structure
+/// by admissibility and fill the leaves. Used by the Tile-H builder, whose
+/// nodes live inside tile descriptors and are assembled by parallel tasks.
+template <typename T, typename Gen>
+void assemble_hmatrix(HMatrix<T>& node, const Gen& gen,
+                      const HMatrixOptions& opts) {
+  detail::assemble_node(node, gen, opts);
+}
+
+/// Build the H-matrix of the block (row_root x col_root) of the cluster
+/// tree. For a whole-matrix H-matrix pass the tree root twice; the Tile-H
+/// construction passes tile roots.
+template <typename T, typename Gen>
+HMatrix<T> build_hmatrix(typename HMatrix<T>::TreePtr tree, index_t row_root,
+                         index_t col_root, const Gen& gen,
+                         const HMatrixOptions& opts) {
+  HMatrix<T> root(std::move(tree), row_root, col_root);
+  detail::assemble_node(root, gen, opts);
+  return root;
+}
+
+/// Structure-only variant: creates the block tree with zero payloads
+/// (Rk leaves of rank 0, Full leaves of zeros). Used for product/update
+/// targets whose content is computed by H-arithmetic.
+template <typename T>
+void build_structure(HMatrix<T>& node,
+                     const cluster::AdmissibilityCondition& adm) {
+  const auto& rc = node.row_cluster();
+  const auto& cc = node.col_cluster();
+  if (adm.admissible(rc.box, cc.box, node.row_node() == node.col_node())) {
+    node.make_rk(rk::RkMatrix<T>(rc.size, cc.size));
+    return;
+  }
+  if (rc.is_leaf() || cc.is_leaf()) {
+    node.make_full(la::Matrix<T>(rc.size, cc.size));
+    return;
+  }
+  node.make_hierarchical();
+  for (int i = 0; i < 2; ++i)
+    for (int j = 0; j < 2; ++j) build_structure(node.child(i, j), adm);
+}
+
+}  // namespace hcham::hmat

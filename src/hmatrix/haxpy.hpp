@@ -1,0 +1,40 @@
+// Structured addition of two H-matrices: B += alpha * A.
+//
+// When both operands were built over the same block cluster tree the
+// recursion is structural; where the leaf kinds disagree the update falls
+// back to the dense / low-rank distribution primitives of add.hpp.
+#pragma once
+
+#include "hmatrix/add.hpp"
+#include "hmatrix/hmatrix.hpp"
+
+namespace hcham::hmat {
+
+template <typename T>
+void haxpy(T alpha, const HMatrix<T>& a, HMatrix<T>& b,
+           const rk::TruncationParams& tp) {
+  HCHAM_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  if (alpha == T{}) return;
+  switch (a.kind()) {
+    case HMatrix<T>::Kind::Full:
+      add_dense_to(b, alpha, a.full().cview(), tp);
+      return;
+    case HMatrix<T>::Kind::Rk:
+      add_rk_to(b, alpha, a.rk(), tp);
+      return;
+    case HMatrix<T>::Kind::Hierarchical:
+      if (b.is_hierarchical()) {
+        for (int i = 0; i < 2; ++i)
+          for (int j = 0; j < 2; ++j)
+            haxpy(alpha, a.child(i, j), b.child(i, j), tp);
+      } else if (b.is_full()) {
+        a.add_to_dense(alpha, b.full().view());
+      } else {
+        // B is a low-rank leaf: agglomerate A and round-add.
+        rk::rounded_add(b.rk(), alpha, to_rk(a, tp), tp);
+      }
+      return;
+  }
+}
+
+}  // namespace hcham::hmat

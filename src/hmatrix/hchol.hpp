@@ -1,0 +1,113 @@
+// H-Cholesky factorization: A = L L^H for Hermitian positive-definite
+// H-matrices (the real 1/d BEM kernel is positive definite, making this the
+// natural symmetric solver - CHAMELEON's POTRF path, which the paper notes
+// the library covers alongside LU and QR).
+//
+// Only the lower triangle of the block structure is read and written; the
+// strict upper blocks are left untouched (stale) and must not be used after
+// factorization.
+#pragma once
+
+#include "hmatrix/adjoint.hpp"
+#include "hmatrix/hgemm.hpp"
+#include "hmatrix/hlu.hpp"
+#include "hmatrix/htrsm.hpp"
+#include "la/potrf.hpp"
+
+namespace hcham::hmat {
+
+/// Solve X L^H = B in place for dense B (columns split along L).
+template <typename T>
+void solve_lower_right_adjoint_dense(const HMatrix<T>& l,
+                                     la::MatrixView<T> x) {
+  HCHAM_CHECK(l.rows() == l.cols() && x.cols() == l.rows());
+  switch (l.kind()) {
+    case HMatrix<T>::Kind::Full:
+      la::trsm(la::Side::Right, la::Uplo::Lower, la::Op::ConjTrans,
+               la::Diag::NonUnit, T{1}, l.full().cview(), x);
+      return;
+    case HMatrix<T>::Kind::Hierarchical: {
+      const index_t c0 = l.child(0, 0).cols();
+      auto x0 = x.block(0, 0, x.rows(), c0);
+      auto x1 = x.block(0, c0, x.rows(), x.cols() - c0);
+      // X0 = B0 L00^-H; X1 = (B1 - X0 L10^H) L11^-H.
+      solve_lower_right_adjoint_dense(l.child(0, 0), x0);
+      // X0 * L10^H = (L10 * X0^H)^H.
+      la::Matrix<T> x0h = detail::adjoint<T>(x0);
+      la::Matrix<T> t(l.child(1, 0).rows(), x.rows());
+      matmat(la::Op::NoTrans, T{1}, l.child(1, 0), x0h.cview(), T{},
+             t.view());
+      for (index_t j = 0; j < x1.cols(); ++j)
+        for (index_t i = 0; i < x1.rows(); ++i)
+          x1(i, j) -= conj_if(t(j, i));
+      solve_lower_right_adjoint_dense(l.child(1, 1), x1);
+      return;
+    }
+    case HMatrix<T>::Kind::Rk:
+      HCHAM_CHECK_MSG(false, "diagonal H-node cannot be low-rank");
+  }
+}
+
+/// H-TRSM, Right/Lower/ConjTrans/NonUnit: B <- B L^-H (the Cholesky panel
+/// update A21 <- A21 L11^-H).
+template <typename T>
+void htrsm_lower_right_adjoint(const HMatrix<T>& l, HMatrix<T>& b,
+                               const rk::TruncationParams& tp) {
+  HCHAM_CHECK(l.rows() == l.cols() && b.cols() == l.rows());
+  switch (b.kind()) {
+    case HMatrix<T>::Kind::Full:
+      solve_lower_right_adjoint_dense(l, b.full().view());
+      return;
+    case HMatrix<T>::Kind::Rk:
+      // (U V^H) L^-H = U (L^-1 V)^H: rank preserved exactly.
+      if (!b.rk().is_zero())
+        solve_lower_left(l, b.rk().v().view(), la::Diag::NonUnit);
+      return;
+    case HMatrix<T>::Kind::Hierarchical: {
+      HCHAM_CHECK(l.is_hierarchical());
+      for (int i = 0; i < 2; ++i) {
+        htrsm_lower_right_adjoint(l.child(0, 0), b.child(i, 0), tp);
+        // B_i1 -= B_i0 * L10^H.
+        HMatrix<T> l10h = adjoint_of(l.child(1, 0));
+        hgemm(T{-1}, b.child(i, 0), l10h, b.child(i, 1), tp);
+        htrsm_lower_right_adjoint(l.child(1, 1), b.child(i, 1), tp);
+      }
+      return;
+    }
+  }
+}
+
+/// In-place lower H-Cholesky. Returns 0 or a LAPACK-style positive info if
+/// a diagonal leaf is not positive definite.
+template <typename T>
+int hchol(HMatrix<T>& a, const rk::TruncationParams& tp) {
+  HCHAM_CHECK(a.rows() == a.cols());
+  switch (a.kind()) {
+    case HMatrix<T>::Kind::Full:
+      return la::potrf(a.full().view());
+    case HMatrix<T>::Kind::Rk:
+      HCHAM_CHECK_MSG(false, "cannot factorize a low-rank diagonal block");
+      return -1;
+    case HMatrix<T>::Kind::Hierarchical: {
+      int info = hchol(a.child(0, 0), tp);
+      if (info != 0) return info;
+      htrsm_lower_right_adjoint(a.child(0, 0), a.child(1, 0), tp);
+      // A11 -= A10 * A10^H.
+      HMatrix<T> a10h = adjoint_of(a.child(1, 0));
+      hgemm(T{-1}, a.child(1, 0), a10h, a.child(1, 1), tp);
+      info = hchol(a.child(1, 1), tp);
+      return info == 0 ? 0
+                       : info + static_cast<int>(a.child(0, 0).rows());
+    }
+  }
+  return -1;
+}
+
+/// Solve (L L^H) X = B in place using the factor stored by hchol().
+template <typename T>
+void hchol_solve(const HMatrix<T>& l, la::MatrixView<T> b) {
+  solve_lower_left(l, b, la::Diag::NonUnit);
+  solve_lower_conjtrans_left(l, b, la::Diag::NonUnit);
+}
+
+}  // namespace hcham::hmat

@@ -1,0 +1,288 @@
+// H-GEMM: C += alpha * A * B over H-matrix operands (paper Section II-B).
+//
+// With three operands each being low-rank, full-rank, or subdivided, 27
+// configurations exist (paper Fig. 2). They are handled by normalization:
+//  1. a low-rank operand short-circuits the product through its factors
+//     (the product of anything with an Rk matrix is Rk of the same rank);
+//  2. full-rank leaf operands become dense views that are sliced along the
+//     recursion, which is well-defined because operands share cluster trees
+//     along matching dimensions;
+//  3. what remains is structural recursion on C, with agglomeration
+//     (to_rk) when a subdivided product must land on a low-rank leaf.
+// Every rank-increasing update is rounded (truncated) at accuracy `tp`.
+#pragma once
+
+#include "hmatrix/add.hpp"
+#include "hmatrix/hmatrix.hpp"
+#include "hmatrix/matmat.hpp"
+
+namespace hcham::hmat {
+
+namespace detail {
+
+/// Product operand: either an H-node (any kind) or a dense view slice.
+template <typename T>
+struct Opnd {
+  const HMatrix<T>* h = nullptr;
+  la::ConstMatrixView<T> d;
+
+  static Opnd node(const HMatrix<T>& m) { return Opnd{&m, {}}; }
+  static Opnd dense(la::ConstMatrixView<T> v) { return Opnd{nullptr, v}; }
+
+  bool is_h() const { return h != nullptr; }
+  index_t rows() const { return is_h() ? h->rows() : d.rows(); }
+  index_t cols() const { return is_h() ? h->cols() : d.cols(); }
+};
+
+/// Conjugate transpose of a dense view.
+template <typename T>
+la::Matrix<T> adjoint(la::ConstMatrixView<T> a) {
+  la::Matrix<T> r(a.cols(), a.rows());
+  for (index_t j = 0; j < a.cols(); ++j)
+    for (index_t i = 0; i < a.rows(); ++i) r(j, i) = conj_if(a(i, j));
+  return r;
+}
+
+/// The product A * B of two H-nodes as a single RkMatrix, computed by
+/// recursive bottom-up agglomeration: block products are formed first and
+/// the 2 x 2 grid of Rk results is stacked and re-truncated. This is the
+/// standard way an admissible (low-rank) target absorbs the product of two
+/// subdivided operands without densification.
+template <typename T>
+rk::RkMatrix<T> product_rk(const HMatrix<T>& a, const HMatrix<T>& b,
+                           const rk::TruncationParams& tp) {
+  const index_t m = a.rows();
+  const index_t n = b.cols();
+  if (a.is_rk()) {
+    const rk::RkMatrix<T>& ra = a.rk();
+    if (ra.is_zero()) return rk::RkMatrix<T>(m, n);
+    la::Matrix<T> w(n, ra.rank());
+    matmat(la::Op::ConjTrans, T{1}, b, ra.v().cview(), T{}, w.view());
+    return rk::RkMatrix<T>(la::Matrix<T>::from_view(ra.u().cview()),
+                           std::move(w));
+  }
+  if (b.is_rk()) {
+    const rk::RkMatrix<T>& rb = b.rk();
+    if (rb.is_zero()) return rk::RkMatrix<T>(m, n);
+    la::Matrix<T> w(m, rb.rank());
+    matmat(la::Op::NoTrans, T{1}, a, rb.u().cview(), T{}, w.view());
+    return rk::RkMatrix<T>(std::move(w),
+                           la::Matrix<T>::from_view(rb.v().cview()));
+  }
+  if (a.is_full()) {
+    // Inner dimension is a dense-leaf width: factor as (A) (B^H)^H.
+    la::Matrix<T> bd = b.to_dense();
+    return rk::RkMatrix<T>(la::Matrix<T>::from_view(a.full().cview()),
+                           adjoint<T>(bd.cview()));
+  }
+  if (b.is_full()) {
+    la::Matrix<T> ad = a.to_dense();
+    return rk::RkMatrix<T>(std::move(ad), adjoint<T>(b.full().cview()));
+  }
+  // Both hierarchical: form the 2 x 2 block products, then agglomerate.
+  rk::RkMatrix<T> parts[2][2];
+  index_t total_rank = 0;
+  for (int i = 0; i < 2; ++i)
+    for (int j = 0; j < 2; ++j) {
+      rk::RkMatrix<T> p(a.child(i, 0).rows(), b.child(0, j).cols());
+      for (int k = 0; k < 2; ++k)
+        rk::rounded_add(p, T{1},
+                        product_rk(a.child(i, k), b.child(k, j), tp), tp);
+      total_rank += p.rank();
+      parts[i][j] = std::move(p);
+    }
+  const index_t r0 = a.child(0, 0).rows();
+  const index_t c0 = b.child(0, 0).cols();
+  la::Matrix<T> u(m, total_rank), v(n, total_rank);
+  index_t col = 0;
+  for (int i = 0; i < 2; ++i)
+    for (int j = 0; j < 2; ++j) {
+      const rk::RkMatrix<T>& p = parts[i][j];
+      if (p.rank() == 0) continue;
+      la::copy<T>(p.u().cview(),
+                  u.block(i == 0 ? 0 : r0, col, p.rows(), p.rank()));
+      la::copy<T>(p.v().cview(),
+                  v.block(j == 0 ? 0 : c0, col, p.cols(), p.rank()));
+      col += p.rank();
+    }
+  rk::RkMatrix<T> result(std::move(u), std::move(v));
+  rk::truncate(result, tp);
+  return result;
+}
+
+/// Y = op(A) * X for an operand that may be an H-node or dense.
+template <typename T>
+void opnd_matmat(la::Op op, const Opnd<T>& a, la::ConstMatrixView<T> x,
+                 la::MatrixView<T> y) {
+  if (a.is_h()) {
+    matmat(op, T{1}, *a.h, x, T{}, y);
+  } else {
+    la::gemm(op, la::Op::NoTrans, T{1}, a.d, x, T{}, y);
+  }
+}
+
+template <typename T>
+void hgemm_impl(T alpha, Opnd<T> a, Opnd<T> b, HMatrix<T>& c,
+                const rk::TruncationParams& tp) {
+  HCHAM_DCHECK(a.rows() == c.rows() && b.cols() == c.cols() &&
+               a.cols() == b.rows());
+  if (alpha == T{}) return;
+
+  // --- 1. low-rank operands collapse the product -------------------------
+  if (a.is_h() && a.h->is_rk()) {
+    const rk::RkMatrix<T>& ra = a.h->rk();
+    if (ra.is_zero()) return;
+    const index_t k = ra.rank();
+    if (b.is_h() && b.h->is_rk()) {
+      const rk::RkMatrix<T>& rb = b.h->rk();
+      if (rb.is_zero()) return;
+      // A B = Ua (Va^H Ub) Vb^H = (Ua S) Vb^H.
+      la::Matrix<T> s(k, rb.rank());
+      la::gemm(la::Op::ConjTrans, la::Op::NoTrans, T{1}, ra.v().cview(),
+               rb.u().cview(), T{}, s.view());
+      la::Matrix<T> w(c.rows(), rb.rank());
+      la::gemm(la::Op::NoTrans, la::Op::NoTrans, T{1}, ra.u().cview(),
+               s.cview(), T{}, w.view());
+      add_rk_to(c, alpha,
+                rk::RkMatrix<T>(std::move(w),
+                                la::Matrix<T>::from_view(rb.v().cview())),
+                tp);
+      return;
+    }
+    // A B = Ua (B^H Va)^H.
+    la::Matrix<T> m(b.cols(), k);
+    opnd_matmat(la::Op::ConjTrans, b, ra.v().cview(), m.view());
+    add_rk_to(c, alpha,
+              rk::RkMatrix<T>(la::Matrix<T>::from_view(ra.u().cview()),
+                              std::move(m)),
+              tp);
+    return;
+  }
+  if (b.is_h() && b.h->is_rk()) {
+    const rk::RkMatrix<T>& rb = b.h->rk();
+    if (rb.is_zero()) return;
+    // A B = (A Ub) Vb^H.
+    la::Matrix<T> w(c.rows(), rb.rank());
+    opnd_matmat(la::Op::NoTrans, a, rb.u().cview(), w.view());
+    add_rk_to(c, alpha,
+              rk::RkMatrix<T>(std::move(w),
+                              la::Matrix<T>::from_view(rb.v().cview())),
+              tp);
+    return;
+  }
+
+  // --- 2. full-rank leaves become dense views -----------------------------
+  if (a.is_h() && a.h->is_full()) a = Opnd<T>::dense(a.h->full().cview());
+  if (b.is_h() && b.h->is_full()) b = Opnd<T>::dense(b.h->full().cview());
+
+  // --- 3. structural recursion on C ---------------------------------------
+  switch (c.kind()) {
+    case HMatrix<T>::Kind::Hierarchical: {
+      const index_t r0 = c.child(0, 0).rows();
+      const index_t c0 = c.child(0, 0).cols();
+      // Inner-dimension split comes from whichever operand is subdivided.
+      index_t inner_sizes[2];
+      int inner_parts = 1;
+      if (a.is_h()) {
+        inner_sizes[0] = a.h->child(0, 0).cols();
+        inner_sizes[1] = a.h->cols() - inner_sizes[0];
+        inner_parts = 2;
+      } else if (b.is_h()) {
+        inner_sizes[0] = b.h->child(0, 0).rows();
+        inner_sizes[1] = b.h->rows() - inner_sizes[0];
+        inner_parts = 2;
+      } else {
+        inner_sizes[0] = a.cols();
+        inner_sizes[1] = 0;
+      }
+      for (int i = 0; i < 2; ++i) {
+        for (int j = 0; j < 2; ++j) {
+          HMatrix<T>& cij = c.child(i, j);
+          const index_t ro = (i == 0) ? 0 : r0;
+          const index_t co = (j == 0) ? 0 : c0;
+          index_t ko = 0;
+          for (int l = 0; l < inner_parts; ++l) {
+            const index_t ks = inner_sizes[l];
+            if (ks == 0) continue;
+            Opnd<T> ail = a.is_h()
+                              ? Opnd<T>::node(a.h->child(i, l))
+                              : Opnd<T>::dense(
+                                    a.d.block(ro, ko, cij.rows(), ks));
+            Opnd<T> blj = b.is_h()
+                              ? Opnd<T>::node(b.h->child(l, j))
+                              : Opnd<T>::dense(
+                                    b.d.block(ko, co, ks, cij.cols()));
+            hgemm_impl(alpha, ail, blj, cij, tp);
+            ko += ks;
+          }
+        }
+      }
+      return;
+    }
+    case HMatrix<T>::Kind::Full: {
+      if (!a.is_h() && !b.is_h()) {
+        la::gemm(la::Op::NoTrans, la::Op::NoTrans, alpha, a.d, b.d, T{1},
+                 c.full().view());
+      } else if (a.is_h() && !b.is_h()) {
+        matmat(la::Op::NoTrans, alpha, *a.h, b.d, T{1}, c.full().view());
+      } else if (!a.is_h() && b.is_h()) {
+        matmat_left(alpha, a.d, *b.h, T{1}, c.full().view());
+      } else {
+        // Both subdivided onto a full leaf: densify the cheaper operand.
+        if (c.rows() <= c.cols()) {
+          la::Matrix<T> ad = a.h->to_dense();
+          matmat_left(alpha, ad.cview(), *b.h, T{1}, c.full().view());
+        } else {
+          la::Matrix<T> bd = b.h->to_dense();
+          matmat(la::Op::NoTrans, alpha, *a.h, bd.cview(), T{1},
+                 c.full().view());
+        }
+      }
+      return;
+    }
+    case HMatrix<T>::Kind::Rk: {
+      if (!a.is_h()) {
+        // A is a dense slice with small inner dimension k = a.d.cols():
+        // product = a.d * B = Rk(a.d, B^H).
+        const index_t k = a.d.cols();
+        la::Matrix<T> bd(k, c.cols());
+        if (b.is_h()) {
+          bd = b.h->to_dense();
+        } else {
+          la::copy(b.d, bd.view());
+        }
+        rk::rounded_add(c.rk(), alpha,
+                        rk::RkMatrix<T>(la::Matrix<T>::from_view(a.d),
+                                        adjoint<T>(bd.cview())),
+                        tp);
+      } else if (!b.is_h()) {
+        // product = A * b.d = Rk(to_dense(A), b.d^H); inner dim is small.
+        la::Matrix<T> ad = a.h->to_dense();
+        rk::rounded_add(c.rk(), alpha,
+                        rk::RkMatrix<T>(std::move(ad), adjoint<T>(b.d)),
+                        tp);
+      } else {
+        // Both subdivided: agglomerate the PRODUCT bottom-up (recursive
+        // block products combined into one Rk), which is much cheaper
+        // than agglomerating an operand whose rank may be large.
+        rk::RkMatrix<T> p = product_rk(*a.h, *b.h, tp);
+        rk::rounded_add(c.rk(), alpha, p, tp);
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace detail
+
+/// C += alpha * A * B with rounding accuracy tp.
+template <typename T>
+void hgemm(T alpha, const HMatrix<T>& a, const HMatrix<T>& b, HMatrix<T>& c,
+           const rk::TruncationParams& tp) {
+  HCHAM_CHECK(a.rows() == c.rows() && b.cols() == c.cols() &&
+              a.cols() == b.rows());
+  detail::hgemm_impl(alpha, detail::Opnd<T>::node(a), detail::Opnd<T>::node(b),
+                     c, tp);
+}
+
+}  // namespace hcham::hmat

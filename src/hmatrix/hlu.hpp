@@ -1,0 +1,88 @@
+// Recursive H-LU factorization (paper Algorithm 1 applied recursively, as
+// described in Section II-B: H-GETRF recursively calls the tiled algorithm
+// on each hierarchy level; dense leaves call the LAPACK-style kernel).
+//
+// The factorization is unpivoted (global pivoting is impossible across the
+// block structure; see DESIGN.md) and stores L\U in place: L is unit lower,
+// U is non-unit upper.
+#pragma once
+
+#include "hmatrix/hgemm.hpp"
+#include "hmatrix/hmatrix.hpp"
+#include "hmatrix/htrsm.hpp"
+#include "la/getrf.hpp"
+
+namespace hcham::hmat {
+
+/// In-place H-LU. Returns 0 on success or a LAPACK-style positive info if a
+/// zero pivot is met in some dense diagonal leaf.
+template <typename T>
+int hlu(HMatrix<T>& a, const rk::TruncationParams& tp) {
+  HCHAM_CHECK(a.rows() == a.cols());
+  switch (a.kind()) {
+    case HMatrix<T>::Kind::Full:
+      return la::getrf_nopiv(a.full().view());
+    case HMatrix<T>::Kind::Rk:
+      HCHAM_CHECK_MSG(false, "cannot factorize a low-rank diagonal block");
+      return -1;
+    case HMatrix<T>::Kind::Hierarchical: {
+      int info = hlu(a.child(0, 0), tp);
+      if (info != 0) return info;
+      // U panel: A01 <- L00^-1 A01; L panel: A10 <- A10 U00^-1.
+      htrsm_lower_left(a.child(0, 0), a.child(0, 1), tp);
+      htrsm_upper_right(a.child(0, 0), a.child(1, 0), tp);
+      // Schur complement: A11 -= A10 A01.
+      hgemm(T{-1}, a.child(1, 0), a.child(0, 1), a.child(1, 1), tp);
+      info = hlu(a.child(1, 1), tp);
+      return info == 0 ? 0
+                       : info + static_cast<int>(a.child(0, 0).rows());
+    }
+  }
+  return -1;
+}
+
+/// Solve (L U) X = B in place for dense B, using the factors stored by
+/// hlu(). B is addressed in the PERMUTED (cluster tree) ordering.
+template <typename T>
+void hlu_solve(const HMatrix<T>& lu, la::MatrixView<T> b) {
+  solve_lower_left(lu, b);
+  solve_upper_left(lu, b);
+}
+
+/// X <- L^-H X with L the lower factor (unit diagonal for LU, non-unit
+/// for Cholesky). Helper for the adjoint and Cholesky solves.
+template <typename T>
+void solve_lower_conjtrans_left(const HMatrix<T>& l, la::MatrixView<T> x,
+                                la::Diag diag = la::Diag::Unit) {
+  HCHAM_CHECK(l.rows() == l.cols() && x.rows() == l.rows());
+  switch (l.kind()) {
+    case HMatrix<T>::Kind::Full:
+      la::trsm(la::Side::Left, la::Uplo::Lower, la::Op::ConjTrans, diag,
+               T{1}, l.full().cview(), x);
+      return;
+    case HMatrix<T>::Kind::Hierarchical: {
+      // L^H is upper triangular: backward substitution.
+      const index_t r0 = l.child(0, 0).rows();
+      auto x0 = x.block(0, 0, r0, x.cols());
+      auto x1 = x.block(r0, 0, x.rows() - r0, x.cols());
+      solve_lower_conjtrans_left(l.child(1, 1), x1, diag);
+      matmat(la::Op::ConjTrans, T{-1}, l.child(1, 0),
+             la::ConstMatrixView<T>(x1), T{1}, x0);
+      solve_lower_conjtrans_left(l.child(0, 0), x0, diag);
+      return;
+    }
+    case HMatrix<T>::Kind::Rk:
+      HCHAM_CHECK_MSG(false, "diagonal H-node cannot be low-rank");
+  }
+}
+
+/// Solve (L U)^H X = B (adjoint solve), for iterative refinement and tests.
+template <typename T>
+void hlu_solve_adjoint(const HMatrix<T>& lu, la::MatrixView<T> b) {
+  // (L U)^H = U^H L^H: first solve with U^H (lower), then with L^H (upper,
+  // unit diagonal).
+  solve_upper_conjtrans_left(lu, b);
+  solve_lower_conjtrans_left(lu, b);
+}
+
+}  // namespace hcham::hmat

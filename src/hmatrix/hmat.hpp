@@ -1,0 +1,14 @@
+// Umbrella header for the H-matrix engine.
+#pragma once
+
+#include "hmatrix/add.hpp"      // IWYU pragma: export
+#include "hmatrix/adjoint.hpp"  // IWYU pragma: export
+#include "hmatrix/build.hpp"    // IWYU pragma: export
+#include "hmatrix/haxpy.hpp"    // IWYU pragma: export
+#include "hmatrix/hchol.hpp"    // IWYU pragma: export
+#include "hmatrix/hgemm.hpp"    // IWYU pragma: export
+#include "hmatrix/hlu.hpp"      // IWYU pragma: export
+#include "hmatrix/hmatrix.hpp"  // IWYU pragma: export
+#include "hmatrix/htrsm.hpp"    // IWYU pragma: export
+#include "hmatrix/io.hpp"       // IWYU pragma: export
+#include "hmatrix/matmat.hpp"   // IWYU pragma: export

@@ -1,0 +1,170 @@
+// Triangular solves in H-arithmetic (paper Section II-B).
+//
+// After the H-LU factorization the diagonal H-nodes hold L\U in place (unit
+// lower / non-unit upper). Four solve kernels are provided:
+//  * solve_lower_left / solve_upper_left: dense multi-RHS X <- L^-1 X,
+//    X <- U^-1 X (used for vector solves and Rk-factor updates);
+//  * solve_upper_conjtrans_left: X <- U^-H X (right-solve on V factors);
+//  * htrsm_lower_left / htrsm_upper_right: the H-matrix panel solves of the
+//    tiled LU (Algorithm 1 lines 4 and 7, in H-arithmetic).
+#pragma once
+
+#include "hmatrix/hgemm.hpp"
+#include "hmatrix/hmatrix.hpp"
+#include "hmatrix/matmat.hpp"
+#include "la/trsm.hpp"
+
+namespace hcham::hmat {
+
+/// X <- L^-1 X with L the lower factor stored in `l` (diagonal node):
+/// unit diagonal for LU factors, non-unit for Cholesky factors.
+template <typename T>
+void solve_lower_left(const HMatrix<T>& l, la::MatrixView<T> x,
+                      la::Diag diag = la::Diag::Unit) {
+  HCHAM_CHECK(l.rows() == l.cols() && x.rows() == l.rows());
+  switch (l.kind()) {
+    case HMatrix<T>::Kind::Full:
+      la::trsm(la::Side::Left, la::Uplo::Lower, la::Op::NoTrans, diag, T{1},
+               l.full().cview(), x);
+      return;
+    case HMatrix<T>::Kind::Hierarchical: {
+      const index_t r0 = l.child(0, 0).rows();
+      auto x0 = x.block(0, 0, r0, x.cols());
+      auto x1 = x.block(r0, 0, x.rows() - r0, x.cols());
+      solve_lower_left(l.child(0, 0), x0, diag);
+      matmat(la::Op::NoTrans, T{-1}, l.child(1, 0),
+             la::ConstMatrixView<T>(x0), T{1}, x1);
+      solve_lower_left(l.child(1, 1), x1, diag);
+      return;
+    }
+    case HMatrix<T>::Kind::Rk:
+      HCHAM_CHECK_MSG(false, "diagonal H-node cannot be low-rank");
+  }
+}
+
+/// X <- U^-1 X with U the non-unit upper factor stored in `u`.
+template <typename T>
+void solve_upper_left(const HMatrix<T>& u, la::MatrixView<T> x) {
+  HCHAM_CHECK(u.rows() == u.cols() && x.rows() == u.rows());
+  switch (u.kind()) {
+    case HMatrix<T>::Kind::Full:
+      la::trsm(la::Side::Left, la::Uplo::Upper, la::Op::NoTrans,
+               la::Diag::NonUnit, T{1}, u.full().cview(), x);
+      return;
+    case HMatrix<T>::Kind::Hierarchical: {
+      const index_t r0 = u.child(0, 0).rows();
+      auto x0 = x.block(0, 0, r0, x.cols());
+      auto x1 = x.block(r0, 0, x.rows() - r0, x.cols());
+      solve_upper_left(u.child(1, 1), x1);
+      matmat(la::Op::NoTrans, T{-1}, u.child(0, 1),
+             la::ConstMatrixView<T>(x1), T{1}, x0);
+      solve_upper_left(u.child(0, 0), x0);
+      return;
+    }
+    case HMatrix<T>::Kind::Rk:
+      HCHAM_CHECK_MSG(false, "diagonal H-node cannot be low-rank");
+  }
+}
+
+/// X <- U^-H X (the adjoint upper solve used on Rk V-factors, since
+/// (B U^-1) = (U^-H B^H)^H).
+template <typename T>
+void solve_upper_conjtrans_left(const HMatrix<T>& u, la::MatrixView<T> x) {
+  HCHAM_CHECK(u.rows() == u.cols() && x.rows() == u.rows());
+  switch (u.kind()) {
+    case HMatrix<T>::Kind::Full:
+      la::trsm(la::Side::Left, la::Uplo::Upper, la::Op::ConjTrans,
+               la::Diag::NonUnit, T{1}, u.full().cview(), x);
+      return;
+    case HMatrix<T>::Kind::Hierarchical: {
+      // U^H is lower triangular: forward substitution.
+      const index_t r0 = u.child(0, 0).rows();
+      auto x0 = x.block(0, 0, r0, x.cols());
+      auto x1 = x.block(r0, 0, x.rows() - r0, x.cols());
+      solve_upper_conjtrans_left(u.child(0, 0), x0);
+      matmat(la::Op::ConjTrans, T{-1}, u.child(0, 1),
+             la::ConstMatrixView<T>(x0), T{1}, x1);
+      solve_upper_conjtrans_left(u.child(1, 1), x1);
+      return;
+    }
+    case HMatrix<T>::Kind::Rk:
+      HCHAM_CHECK_MSG(false, "diagonal H-node cannot be low-rank");
+  }
+}
+
+/// Solve X U = B for dense B in place (columns of B split along U).
+template <typename T>
+void solve_upper_right_dense(const HMatrix<T>& u, la::MatrixView<T> x) {
+  HCHAM_CHECK(u.rows() == u.cols() && x.cols() == u.rows());
+  switch (u.kind()) {
+    case HMatrix<T>::Kind::Full:
+      la::trsm(la::Side::Right, la::Uplo::Upper, la::Op::NoTrans,
+               la::Diag::NonUnit, T{1}, u.full().cview(), x);
+      return;
+    case HMatrix<T>::Kind::Hierarchical: {
+      const index_t c0 = u.child(0, 0).cols();
+      auto x0 = x.block(0, 0, x.rows(), c0);
+      auto x1 = x.block(0, c0, x.rows(), x.cols() - c0);
+      solve_upper_right_dense(u.child(0, 0), x0);
+      matmat_left(T{-1}, la::ConstMatrixView<T>(x0), u.child(0, 1), T{1}, x1);
+      solve_upper_right_dense(u.child(1, 1), x1);
+      return;
+    }
+    case HMatrix<T>::Kind::Rk:
+      HCHAM_CHECK_MSG(false, "diagonal H-node cannot be low-rank");
+  }
+}
+
+/// H-TRSM, Left/Lower/Unit: B <- L^-1 B where B is an H-matrix panel.
+template <typename T>
+void htrsm_lower_left(const HMatrix<T>& l, HMatrix<T>& b,
+                      const rk::TruncationParams& tp) {
+  HCHAM_CHECK(l.rows() == l.cols() && b.rows() == l.rows());
+  switch (b.kind()) {
+    case HMatrix<T>::Kind::Full:
+      solve_lower_left(l, b.full().view());
+      return;
+    case HMatrix<T>::Kind::Rk:
+      // L^-1 (U V^H) = (L^-1 U) V^H: rank is preserved exactly.
+      if (!b.rk().is_zero()) solve_lower_left(l, b.rk().u().view());
+      return;
+    case HMatrix<T>::Kind::Hierarchical: {
+      // B subdivided implies its row cluster has children, hence so does L.
+      HCHAM_CHECK(l.is_hierarchical());
+      for (int j = 0; j < 2; ++j) {
+        htrsm_lower_left(l.child(0, 0), b.child(0, j), tp);
+        hgemm(T{-1}, l.child(1, 0), b.child(0, j), b.child(1, j), tp);
+        htrsm_lower_left(l.child(1, 1), b.child(1, j), tp);
+      }
+      return;
+    }
+  }
+}
+
+/// H-TRSM, Right/Upper/NonUnit: B <- B U^-1 where B is an H-matrix panel.
+template <typename T>
+void htrsm_upper_right(const HMatrix<T>& u, HMatrix<T>& b,
+                       const rk::TruncationParams& tp) {
+  HCHAM_CHECK(u.rows() == u.cols() && b.cols() == u.rows());
+  switch (b.kind()) {
+    case HMatrix<T>::Kind::Full:
+      solve_upper_right_dense(u, b.full().view());
+      return;
+    case HMatrix<T>::Kind::Rk:
+      // (U_b V^H) U^-1 = U_b (U^-H V)^H: rank is preserved exactly.
+      if (!b.rk().is_zero())
+        solve_upper_conjtrans_left(u, b.rk().v().view());
+      return;
+    case HMatrix<T>::Kind::Hierarchical: {
+      HCHAM_CHECK(u.is_hierarchical());
+      for (int i = 0; i < 2; ++i) {
+        htrsm_upper_right(u.child(0, 0), b.child(i, 0), tp);
+        hgemm(T{-1}, b.child(i, 0), u.child(0, 1), b.child(i, 1), tp);
+        htrsm_upper_right(u.child(1, 1), b.child(i, 1), tp);
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace hcham::hmat

@@ -1,0 +1,80 @@
+// Structure rendering for H-matrices: the ASCII analogue of the paper's
+// Fig. 3 (rank map: dense blocks vs low-rank blocks with their ranks).
+#pragma once
+
+#include <algorithm>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "hmatrix/hmatrix.hpp"
+
+namespace hcham::hmat {
+
+namespace detail {
+
+template <typename T>
+void paint_structure(const HMatrix<T>& h, index_t row0, index_t col0,
+                     double scale_r, double scale_c,
+                     std::vector<std::string>& canvas) {
+  const index_t r = h.row_offset() - row0;
+  const index_t c = h.col_offset() - col0;
+  if (h.is_hierarchical()) {
+    for (int i = 0; i < 2; ++i)
+      for (int j = 0; j < 2; ++j)
+        paint_structure(h.child(i, j), row0, col0, scale_r, scale_c, canvas);
+    return;
+  }
+  const auto y0 = static_cast<std::size_t>(static_cast<double>(r) * scale_r);
+  const auto x0 = static_cast<std::size_t>(static_cast<double>(c) * scale_c);
+  auto y1 = static_cast<std::size_t>(
+      static_cast<double>(r + h.rows()) * scale_r);
+  auto x1 = static_cast<std::size_t>(
+      static_cast<double>(c + h.cols()) * scale_c);
+  y1 = std::max(y1, y0 + 1);
+  x1 = std::max(x1, x0 + 1);
+  char fill = '#';
+  if (h.is_rk()) {
+    const index_t rank = h.rk().rank();
+    fill = rank <= 9 ? static_cast<char>('0' + rank)
+                     : (rank <= 35 ? static_cast<char>('a' + rank - 10) : '+');
+  }
+  for (std::size_t y = y0; y < std::min(y1, canvas.size()); ++y)
+    for (std::size_t x = x0; x < std::min(x1, canvas[y].size()); ++x)
+      canvas[y][x] = fill;
+}
+
+}  // namespace detail
+
+/// Render the block structure as `size` x `size` characters: '#' for dense
+/// leaves, the (clamped) rank digit for low-rank leaves.
+template <typename T>
+std::string structure_ascii(const HMatrix<T>& h, index_t size = 64) {
+  std::vector<std::string> canvas(
+      static_cast<std::size_t>(size),
+      std::string(static_cast<std::size_t>(size), ' '));
+  const double sr = static_cast<double>(size) / static_cast<double>(h.rows());
+  const double sc = static_cast<double>(size) / static_cast<double>(h.cols());
+  detail::paint_structure(h, h.row_offset(), h.col_offset(), sr, sc, canvas);
+  std::string out;
+  for (const auto& line : canvas) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+/// One-line summary: leaf counts, rank statistics, compression.
+template <typename T>
+std::string structure_summary(const HMatrix<T>& h) {
+  const auto s = h.stats();
+  std::string out;
+  out += "full_leaves=" + std::to_string(s.full_leaves);
+  out += " rk_leaves=" + std::to_string(s.rk_leaves);
+  out += " max_rank=" + std::to_string(s.max_rank);
+  out += " avg_rank=" + std::to_string(s.avg_rank());
+  out += " compression=" + std::to_string(h.compression_ratio());
+  return out;
+}
+
+}  // namespace hcham::hmat

@@ -1,0 +1,20 @@
+// BLAS-style operation tags shared by the dense kernels.
+#pragma once
+
+namespace hcham::la {
+
+enum class Op { NoTrans, Trans, ConjTrans };
+enum class Side { Left, Right };
+enum class Uplo { Lower, Upper };
+enum class Diag { Unit, NonUnit };
+
+constexpr const char* to_string(Op op) {
+  switch (op) {
+    case Op::NoTrans: return "N";
+    case Op::Trans: return "T";
+    case Op::ConjTrans: return "C";
+  }
+  return "?";
+}
+
+}  // namespace hcham::la

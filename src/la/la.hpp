@@ -1,0 +1,12 @@
+// Umbrella header for the dense linear-algebra substrate.
+#pragma once
+
+#include "la/blas_defs.hpp"   // IWYU pragma: export
+#include "la/gemm.hpp"        // IWYU pragma: export
+#include "la/getrf.hpp"       // IWYU pragma: export
+#include "la/matrix.hpp"      // IWYU pragma: export
+#include "la/norms.hpp"       // IWYU pragma: export
+#include "la/qr.hpp"          // IWYU pragma: export
+#include "la/svd.hpp"         // IWYU pragma: export
+#include "la/trsm.hpp"        // IWYU pragma: export
+#include "la/view.hpp"        // IWYU pragma: export

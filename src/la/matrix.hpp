@@ -1,0 +1,97 @@
+// Owning column-major dense matrix.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/rng.hpp"
+#include "la/view.hpp"
+
+namespace hcham::la {
+
+/// Owning m x n column-major matrix (leading dimension == rows).
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(index_t rows, index_t cols)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<std::size_t>(rows * cols)) {
+    HCHAM_CHECK(rows >= 0 && cols >= 0);
+  }
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  index_t ld() const { return rows_; }
+  index_t size() const { return rows_ * cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+
+  T& operator()(index_t i, index_t j) {
+    HCHAM_DCHECK(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[static_cast<std::size_t>(i + j * rows_)];
+  }
+  const T& operator()(index_t i, index_t j) const {
+    HCHAM_DCHECK(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[static_cast<std::size_t>(i + j * rows_)];
+  }
+
+  MatrixView<T> view() {
+    return MatrixView<T>(data(), rows_, cols_, rows_);
+  }
+  ConstMatrixView<T> view() const {
+    return ConstMatrixView<T>(data(), rows_, cols_, rows_);
+  }
+  ConstMatrixView<T> cview() const { return view(); }
+
+  MatrixView<T> block(index_t i, index_t j, index_t m, index_t n) {
+    return view().block(i, j, m, n);
+  }
+  ConstMatrixView<T> block(index_t i, index_t j, index_t m, index_t n) const {
+    return view().block(i, j, m, n);
+  }
+
+  void fill(T value) { view().fill(value); }
+  void set_zero() { view().set_zero(); }
+  void set_identity() { view().set_identity(); }
+
+  /// Resize, discarding contents.
+  void reset(index_t rows, index_t cols) {
+    HCHAM_CHECK(rows >= 0 && cols >= 0);
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(static_cast<std::size_t>(rows * cols), T{});
+  }
+
+  /// Matrix with entries uniform in [-1, 1) (per component for complex).
+  static Matrix random(index_t rows, index_t cols, std::uint64_t seed) {
+    Matrix m(rows, cols);
+    Rng rng(seed);
+    for (index_t j = 0; j < cols; ++j)
+      for (index_t i = 0; i < rows; ++i) m(i, j) = rng.scalar<T>();
+    return m;
+  }
+
+  static Matrix identity(index_t n) {
+    Matrix m(n, n);
+    m.set_identity();
+    return m;
+  }
+
+  /// Deep copy of an arbitrary view.
+  static Matrix from_view(ConstMatrixView<T> v) {
+    Matrix m(v.rows(), v.cols());
+    copy(v, m.view());
+    return m;
+  }
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+}  // namespace hcham::la

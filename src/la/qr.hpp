@@ -1,0 +1,121 @@
+// Householder QR (xGEQRF / xORGQR style) used by the low-rank truncation
+// kernels (QR of the thin U/V factors followed by a small SVD).
+//
+// Conventions follow LAPACK's zlarfg/zgeqrf: each reflector is
+//   H(i) = I - tau_i * v_i * v_i^H,  v_i = (1; stored below the diagonal),
+// H(i) is unitary, H(i)^H maps the working column to beta * e1 with beta
+// real, the factorization applies H^H so that A <- R, and Q = H(1)...H(k).
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "common/scalar.hpp"
+#include "la/gemm.hpp"
+#include "la/matrix.hpp"
+#include "la/norms.hpp"
+#include "la/view.hpp"
+
+namespace hcham::la {
+
+namespace detail {
+
+/// Generate an elementary reflector for the vector (alpha; x) of length n.
+/// On exit alpha holds beta (real), x holds the reflector tail, tau the
+/// scalar factor. n includes the alpha component.
+template <typename T>
+void larfg(index_t n, T& alpha, T* x, T& tau) {
+  using R = real_t<T>;
+  const index_t m = n - 1;  // tail length
+  const R xnorm = nrm2(m, x);
+  const R alpha_re = scalar_traits<T>::real(alpha);
+  R alpha_im{};
+  if constexpr (is_complex_v<T>) alpha_im = alpha.imag();
+
+  if (xnorm == R{} && alpha_im == R{}) {
+    tau = T{};
+    return;
+  }
+  R beta = -std::copysign(std::hypot(abs_val(alpha), xnorm), alpha_re);
+  if constexpr (is_complex_v<T>) {
+    tau = T((beta - alpha_re) / beta, -alpha_im / beta);
+  } else {
+    tau = (beta - alpha) / beta;
+  }
+  const T scale = T{1} / (alpha - T(beta));
+  for (index_t i = 0; i < m; ++i) x[i] *= scale;
+  alpha = T(beta);
+}
+
+/// Apply H^H (conj_tau = true) or H (false) to C from the left, where the
+/// reflector is v = (1; vtail) over all rows of C.
+template <typename T>
+void apply_reflector(const T* vtail, index_t m, T tau, bool conj_tau,
+                     MatrixView<T> c) {
+  if (tau == T{}) return;
+  const T t = conj_tau ? conj_if(tau) : tau;
+  for (index_t j = 0; j < c.cols(); ++j) {
+    T* cj = c.col(j);
+    // w = v^H * C(:, j)
+    T w = cj[0];
+    for (index_t i = 1; i < m; ++i) w += conj_if(vtail[i - 1]) * cj[i];
+    w *= t;
+    cj[0] -= w;
+    for (index_t i = 1; i < m; ++i) cj[i] -= vtail[i - 1] * w;
+  }
+}
+
+}  // namespace detail
+
+/// Householder QR in place: on exit the upper triangle of A holds R and the
+/// reflectors are stored below the diagonal. tau must hold min(m, n) entries.
+template <typename T>
+void geqrf(MatrixView<T> a, T* tau) {
+  const index_t m = a.rows();
+  const index_t n = a.cols();
+  const index_t k = m < n ? m : n;
+  for (index_t j = 0; j < k; ++j) {
+    detail::larfg(m - j, a(j, j), &a(j + 1 < m ? j + 1 : j, j), tau[j]);
+    if (j + 1 < n) {
+      detail::apply_reflector(m - j > 1 ? &a(j + 1, j) : nullptr, m - j,
+                              tau[j], /*conj_tau=*/true,
+                              a.block(j, j + 1, m - j, n - j - 1));
+    }
+  }
+}
+
+/// Form the thin Q factor (m x k) from the output of geqrf.
+/// a is the factored matrix (reflectors below the diagonal), k <= min(m, n).
+template <typename T>
+Matrix<T> orgqr(ConstMatrixView<T> a, const T* tau, index_t k) {
+  const index_t m = a.rows();
+  HCHAM_CHECK(k <= a.cols() && k <= m);
+  Matrix<T> q(m, k);
+  q.set_identity();
+  for (index_t i = k - 1; i >= 0; --i) {
+    detail::apply_reflector(m - i > 1 ? &a(i + 1, i) : nullptr, m - i, tau[i],
+                            /*conj_tau=*/false,
+                            q.block(i, i, m - i, k - i));
+  }
+  return q;
+}
+
+/// Thin QR convenience wrapper: A (m x n) -> Q (m x k), R (k x k upper),
+/// k = min(m, n). A is not modified.
+template <typename T>
+void qr_thin(ConstMatrixView<T> a, Matrix<T>& q, Matrix<T>& r) {
+  const index_t m = a.rows();
+  const index_t n = a.cols();
+  const index_t k = m < n ? m : n;
+  Matrix<T> work = Matrix<T>::from_view(a);
+  std::vector<T> tau(static_cast<std::size_t>(k));
+  geqrf(work.view(), tau.data());
+  q = orgqr(work.cview(), tau.data(), k);
+  r.reset(k, n);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i <= (j < k - 1 ? j : k - 1); ++i)
+      r(i, j) = work(i, j);
+  return;
+}
+
+}  // namespace hcham::la

@@ -1,0 +1,165 @@
+// Singular value decomposition via one-sided Jacobi (Hestenes), valid for
+// real and complex scalars.
+//
+// One-sided Jacobi applies unitary plane rotations to the columns of A until
+// they are mutually orthogonal; the column norms are then the singular
+// values, the normalized columns form U, and the accumulated rotations form
+// V, i.e. A = U * diag(sigma) * V^H. Jacobi is slower than bidiagonal
+// methods but simple, robust, and highly accurate — it is used here on the
+// small k x k cores of low-rank truncations and on modest dense blocks, so
+// its O(n^3) sweeps are never the bottleneck.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "common/scalar.hpp"
+#include "la/matrix.hpp"
+#include "la/norms.hpp"
+#include "la/view.hpp"
+
+namespace hcham::la {
+
+/// Result of svd(): A (m x n) = U (m x k) * diag(sigma) (k) * V^H (k x n),
+/// with k = min(m, n) and sigma sorted in decreasing order.
+template <typename T>
+struct SvdResult {
+  Matrix<T> u;
+  std::vector<real_t<T>> sigma;
+  Matrix<T> v;  ///< n x k; columns are right singular vectors.
+};
+
+namespace detail {
+
+/// Core one-sided Jacobi for m >= n. Works in place on `work` (m x n) and
+/// accumulates rotations into `v` (n x n, starts as identity).
+template <typename T>
+void jacobi_sweeps(Matrix<T>& work, Matrix<T>& v) {
+  using R = real_t<T>;
+  const index_t m = work.rows();
+  const index_t n = work.cols();
+  const R eps = std::numeric_limits<R>::epsilon();
+  const R tol = std::sqrt(static_cast<R>(m)) * eps;
+  const int max_sweeps = 42;
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    bool rotated = false;
+    for (index_t p = 0; p < n - 1; ++p) {
+      for (index_t q = p + 1; q < n; ++q) {
+        T* cp = work.view().col(p);
+        T* cq = work.view().col(q);
+        const R app = norm_fro_sq(m, cp);
+        const R aqq = norm_fro_sq(m, cq);
+        const T apq = dotc(m, cp, cq);  // cp^H cq
+        const R off = abs_val(apq);
+        if (off <= tol * std::sqrt(app * aqq) || off == R{}) continue;
+        rotated = true;
+
+        // Phase factor making the off-diagonal Gram entry real positive:
+        // multiply column q (and V column q) by phi = conj(apq) / |apq|.
+        // For real scalars this reduces to the sign of apq.
+        const T phi = conj_if(apq) / T(off);
+
+        // Real Jacobi rotation on the 2x2 Gram [[app, off], [off, aqq]].
+        const R tau = (aqq - app) / (R{2} * off);
+        const R t = std::copysign(
+            R{1} / (std::abs(tau) + std::sqrt(R{1} + tau * tau)), tau);
+        const R cs = R{1} / std::sqrt(R{1} + t * t);
+        const R sn = cs * t;
+
+        for (index_t i = 0; i < m; ++i) {
+          const T wq = cq[i] * phi;
+          const T wp = cp[i];
+          cp[i] = T(cs) * wp - T(sn) * wq;
+          cq[i] = T(sn) * wp + T(cs) * wq;
+        }
+        T* vp = v.view().col(p);
+        T* vq = v.view().col(q);
+        for (index_t i = 0; i < n; ++i) {
+          const T wq = vq[i] * phi;
+          const T wp = vp[i];
+          vp[i] = T(cs) * wp - T(sn) * wq;
+          vq[i] = T(sn) * wp + T(cs) * wq;
+        }
+      }
+    }
+    if (!rotated) break;
+  }
+}
+
+}  // namespace detail
+
+/// Full (thin) SVD; A is not modified.
+template <typename T>
+SvdResult<T> svd(ConstMatrixView<T> a) {
+  using R = real_t<T>;
+  const index_t m = a.rows();
+  const index_t n = a.cols();
+
+  if (m < n) {
+    // SVD of A^H = U' S V'^H  =>  A = V' S U'^H.
+    Matrix<T> ah(n, m);
+    for (index_t j = 0; j < m; ++j)
+      for (index_t i = 0; i < n; ++i) ah(i, j) = conj_if(a(j, i));
+    SvdResult<T> r = svd<T>(ah.cview());
+    return SvdResult<T>{std::move(r.v), std::move(r.sigma), std::move(r.u)};
+  }
+
+  Matrix<T> work = Matrix<T>::from_view(a);
+  Matrix<T> v = Matrix<T>::identity(n);
+  detail::jacobi_sweeps(work, v);
+
+  // Extract singular values and left vectors.
+  std::vector<R> sigma(static_cast<std::size_t>(n));
+  for (index_t j = 0; j < n; ++j)
+    sigma[static_cast<std::size_t>(j)] = nrm2(m, work.view().col(j));
+
+  // Sort decreasing.
+  std::vector<index_t> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), index_t{0});
+  std::sort(order.begin(), order.end(), [&](index_t x, index_t y) {
+    return sigma[static_cast<std::size_t>(x)] >
+           sigma[static_cast<std::size_t>(y)];
+  });
+
+  SvdResult<T> result;
+  result.u.reset(m, n);
+  result.v.reset(n, n);
+  result.sigma.resize(static_cast<std::size_t>(n));
+  for (index_t j = 0; j < n; ++j) {
+    const index_t src = order[static_cast<std::size_t>(j)];
+    const R s = sigma[static_cast<std::size_t>(src)];
+    result.sigma[static_cast<std::size_t>(j)] = s;
+    const T* wc = work.view().col(src);
+    T* uc = result.u.view().col(j);
+    if (s > R{}) {
+      const T inv = T(R{1} / s);
+      for (index_t i = 0; i < m; ++i) uc[i] = wc[i] * inv;
+    } else {
+      for (index_t i = 0; i < m; ++i) uc[i] = T{};
+      // Keep U well-formed for rank-deficient inputs: unit vector.
+      if (j < m) uc[j] = T{1};
+    }
+    const T* vc = v.view().col(src);
+    T* rvc = result.v.view().col(j);
+    for (index_t i = 0; i < n; ++i) rvc[i] = vc[i];
+  }
+  return result;
+}
+
+/// Numerical rank of a singular-value sequence at relative tolerance tol.
+template <typename R>
+index_t numerical_rank(const std::vector<R>& sigma, R tol) {
+  if (sigma.empty()) return 0;
+  const R cutoff = tol * sigma.front();
+  index_t r = 0;
+  for (const R s : sigma) {
+    if (s > cutoff) ++r;
+  }
+  return r;
+}
+
+}  // namespace hcham::la

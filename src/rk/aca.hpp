@@ -1,0 +1,255 @@
+// Adaptive Cross Approximation (ACA) of implicitly-given matrix blocks
+// (paper Section II-A, ref [20]).
+//
+// Both variants build A ~= U V^H from entry evaluations only:
+//  * aca_partial: partial pivoting — O((m+n) k^2) entry evaluations; the
+//    workhorse for H-matrix assembly of admissible blocks.
+//  * aca_full: full pivoting on an explicit residual — O(mn k); more robust,
+//    used as a fallback and as a reference in tests/benches.
+// The entry generator is any callable T(index_t row, index_t col) over
+// LOCAL block indices.
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "common/scalar.hpp"
+#include "la/norms.hpp"
+#include "rk/rk_matrix.hpp"
+#include "rk/truncation.hpp"
+
+namespace hcham::rk {
+
+template <typename T, typename Gen>
+RkMatrix<T> aca_partial(const Gen& gen, index_t m, index_t n, double eps,
+                        index_t max_rank = -1) {
+  using R = real_t<T>;
+  const index_t kmax =
+      (max_rank >= 0) ? std::min(max_rank, std::min(m, n)) : std::min(m, n);
+  std::vector<std::vector<T>> us, vs;  // columns of U and V
+  std::vector<char> row_used(static_cast<std::size_t>(m), 0);
+  std::vector<char> col_used(static_cast<std::size_t>(n), 0);
+  R norm_sq{};  // running estimate of ||U V^H||_F^2
+
+  index_t next_row = 0;
+  index_t rows_tried = 0;
+  // A single small cross can be a fluke of the row pivot; require the
+  // stopping criterion on consecutive crosses before attempting to stop.
+  int small_in_a_row = 0;
+  constexpr int kConvergedAfter = 2;
+
+  // Residual of row i restricted to the current approximation.
+  auto residual_row = [&](index_t i, std::vector<T>& r) {
+    for (index_t j = 0; j < n; ++j) r[static_cast<std::size_t>(j)] = gen(i, j);
+    for (std::size_t l = 0; l < us.size(); ++l) {
+      const T ui = us[l][static_cast<std::size_t>(i)];
+      if (ui == T{}) continue;
+      const std::vector<T>& vl = vs[l];
+      for (index_t j = 0; j < n; ++j)
+        r[static_cast<std::size_t>(j)] -=
+            ui * conj_if(vl[static_cast<std::size_t>(j)]);
+    }
+  };
+
+  // The cross magnitudes can decay while a whole region of the block is
+  // still unresolved (the row pivot never visits it). Before accepting
+  // convergence, sample a few unvisited rows; if any carries significant
+  // residual, restart the iteration from the worst of them.
+  auto verify_converged = [&]() -> bool {
+    using RR = real_t<T>;
+    constexpr index_t kSamples = 8;
+    std::vector<index_t> unused;
+    for (index_t i = 0; i < m; ++i)
+      if (!row_used[static_cast<std::size_t>(i)]) unused.push_back(i);
+    if (unused.empty()) return true;
+    const index_t stride =
+        std::max<index_t>(1, static_cast<index_t>(unused.size()) / kSamples);
+    const RR row_tol =
+        static_cast<RR>(eps) *
+        std::sqrt(std::max(norm_sq, RR{}) / static_cast<RR>(m));
+    std::vector<T> r(static_cast<std::size_t>(n));
+    RR worst{};
+    index_t worst_row = -1;
+    for (std::size_t s = 0; s < unused.size();
+         s += static_cast<std::size_t>(stride)) {
+      const index_t i = unused[s];
+      residual_row(i, r);
+      const RR rn = la::nrm2(n, r.data());
+      if (rn > worst) {
+        worst = rn;
+        worst_row = i;
+      }
+    }
+    if (worst_row >= 0 && worst > row_tol) {
+      next_row = worst_row;
+      return false;
+    }
+    return true;
+  };
+
+  while (static_cast<index_t>(us.size()) < kmax && rows_tried < m) {
+    const index_t i = next_row;
+    row_used[static_cast<std::size_t>(i)] = 1;
+    ++rows_tried;
+
+    // Residual row i: r_j = a(i, j) - sum_l u_l(i) conj(v_l(j)).
+    std::vector<T> r(static_cast<std::size_t>(n));
+    residual_row(i, r);
+
+    // Column pivot: largest residual entry among unused columns.
+    index_t jp = -1;
+    R best{};
+    for (index_t j = 0; j < n; ++j) {
+      if (col_used[static_cast<std::size_t>(j)]) continue;
+      const R v = abs_val(r[static_cast<std::size_t>(j)]);
+      if (jp < 0 || v > best) {
+        best = v;
+        jp = j;
+      }
+    }
+    if (jp < 0 || best == R{}) {
+      // Row already exactly represented; move to the next unused row.
+      next_row = -1;
+      for (index_t ii = 0; ii < m; ++ii)
+        if (!row_used[static_cast<std::size_t>(ii)]) {
+          next_row = ii;
+          break;
+        }
+      if (next_row < 0) break;
+      continue;
+    }
+    col_used[static_cast<std::size_t>(jp)] = 1;
+    const T delta = r[static_cast<std::size_t>(jp)];
+
+    // Residual column jp, scaled by 1/delta -> new U column.
+    std::vector<T> u(static_cast<std::size_t>(m));
+    for (index_t ii = 0; ii < m; ++ii)
+      u[static_cast<std::size_t>(ii)] = gen(ii, jp);
+    for (std::size_t l = 0; l < us.size(); ++l) {
+      const T vj = conj_if(vs[l][static_cast<std::size_t>(jp)]);
+      if (vj == T{}) continue;
+      const std::vector<T>& ul = us[l];
+      for (index_t ii = 0; ii < m; ++ii)
+        u[static_cast<std::size_t>(ii)] -=
+            ul[static_cast<std::size_t>(ii)] * vj;
+    }
+    const T inv_delta = T{1} / delta;
+    for (index_t ii = 0; ii < m; ++ii)
+      u[static_cast<std::size_t>(ii)] *= inv_delta;
+    // New V column: conj(residual row) so that (u v^H)(i, j) = u_i r_j.
+    std::vector<T> v(static_cast<std::size_t>(n));
+    for (index_t j = 0; j < n; ++j)
+      v[static_cast<std::size_t>(j)] = conj_if(r[static_cast<std::size_t>(j)]);
+
+    // Update the Frobenius estimate of the accumulated approximation:
+    // ||S_k||^2 = ||S_{k-1}||^2 + 2 Re sum_l (u_l^H u_k)(v_k^H v_l)
+    //             + ||u_k||^2 ||v_k||^2.
+    const R nu = la::nrm2(m, u.data());
+    const R nv = la::nrm2(n, v.data());
+    for (std::size_t l = 0; l < us.size(); ++l) {
+      const T uu = la::dotc(m, us[l].data(), u.data());
+      const T vv = la::dotc(n, v.data(), vs[l].data());
+      norm_sq += R{2} * scalar_traits<T>::real(uu * vv);
+    }
+    norm_sq += nu * nu * nv * nv;
+
+    us.push_back(std::move(u));
+    vs.push_back(std::move(v));
+
+    // Stopping criterion: several consecutive negligible contributions,
+    // then a sampled verification of unvisited rows.
+    if (nu * nv <= eps * std::sqrt(std::max(norm_sq, R{}))) {
+      if (++small_in_a_row >= kConvergedAfter) {
+        if (verify_converged()) break;
+        small_in_a_row = 0;
+        continue;  // verify_converged picked the restart row
+      }
+    } else {
+      small_in_a_row = 0;
+    }
+
+    // Next row pivot: largest entry of the new U column (unused rows).
+    next_row = -1;
+    R ubest{};
+    const std::vector<T>& uk = us.back();
+    for (index_t ii = 0; ii < m; ++ii) {
+      if (row_used[static_cast<std::size_t>(ii)]) continue;
+      const R val = abs_val(uk[static_cast<std::size_t>(ii)]);
+      if (next_row < 0 || val > ubest) {
+        ubest = val;
+        next_row = ii;
+      }
+    }
+    if (next_row < 0) break;  // all rows visited
+  }
+
+  const index_t k = static_cast<index_t>(us.size());
+  la::Matrix<T> u(m, k), v(n, k);
+  for (index_t l = 0; l < k; ++l) {
+    for (index_t i = 0; i < m; ++i)
+      u(i, l) = us[static_cast<std::size_t>(l)][static_cast<std::size_t>(i)];
+    for (index_t j = 0; j < n; ++j)
+      v(j, l) = vs[static_cast<std::size_t>(l)][static_cast<std::size_t>(j)];
+  }
+  RkMatrix<T> result(m, n);
+  if (k > 0) result.set_factors(std::move(u), std::move(v));
+  return result;
+}
+
+template <typename T, typename Gen>
+RkMatrix<T> aca_full(const Gen& gen, index_t m, index_t n, double eps,
+                     index_t max_rank = -1) {
+  using R = real_t<T>;
+  const index_t kmax =
+      (max_rank >= 0) ? std::min(max_rank, std::min(m, n)) : std::min(m, n);
+  la::Matrix<T> res(m, n);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < m; ++i) res(i, j) = gen(i, j);
+  const R norm0 = la::norm_fro(res.cview());
+
+  std::vector<std::vector<T>> us, vs;
+  while (static_cast<index_t>(us.size()) < kmax) {
+    // Global pivot.
+    index_t pi = 0, pj = 0;
+    R best{};
+    for (index_t j = 0; j < n; ++j)
+      for (index_t i = 0; i < m; ++i) {
+        const R v = abs_val(res(i, j));
+        if (v > best) {
+          best = v;
+          pi = i;
+          pj = j;
+        }
+      }
+    if (best == R{} || la::norm_fro(res.cview()) <= eps * norm0) break;
+
+    const T delta = res(pi, pj);
+    std::vector<T> u(static_cast<std::size_t>(m)), v(static_cast<std::size_t>(n));
+    for (index_t i = 0; i < m; ++i)
+      u[static_cast<std::size_t>(i)] = res(i, pj) / delta;
+    for (index_t j = 0; j < n; ++j)
+      v[static_cast<std::size_t>(j)] = conj_if(res(pi, j));
+    // res -= u v^H
+    for (index_t j = 0; j < n; ++j) {
+      const T vj = conj_if(v[static_cast<std::size_t>(j)]);
+      for (index_t i = 0; i < m; ++i)
+        res(i, j) -= u[static_cast<std::size_t>(i)] * vj;
+    }
+    us.push_back(std::move(u));
+    vs.push_back(std::move(v));
+  }
+
+  const index_t k = static_cast<index_t>(us.size());
+  la::Matrix<T> u(m, k), v(n, k);
+  for (index_t l = 0; l < k; ++l) {
+    for (index_t i = 0; i < m; ++i)
+      u(i, l) = us[static_cast<std::size_t>(l)][static_cast<std::size_t>(i)];
+    for (index_t j = 0; j < n; ++j)
+      v(j, l) = vs[static_cast<std::size_t>(l)][static_cast<std::size_t>(j)];
+  }
+  RkMatrix<T> result(m, n);
+  if (k > 0) result.set_factors(std::move(u), std::move(v));
+  return result;
+}
+
+}  // namespace hcham::rk

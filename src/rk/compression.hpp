@@ -1,0 +1,51 @@
+// Unified compression entry point used by the H-matrix assembler: choose
+// between partial ACA (default, as in hmat-oss), full-pivot ACA, and
+// truncated SVD, with a common accuracy/rank-control parameter set.
+#pragma once
+
+#include "rk/aca.hpp"
+#include "rk/truncation.hpp"
+
+namespace hcham::rk {
+
+enum class CompressionMethod {
+  AcaPartial,
+  AcaFull,
+  Svd,
+};
+
+struct CompressionParams {
+  CompressionMethod method = CompressionMethod::AcaPartial;
+  double eps = 1e-4;      ///< relative accuracy (the paper's setting)
+  index_t max_rank = -1;  ///< hard rank cap; -1 = unbounded
+  /// Recompress ACA output with QR+SVD (ACA tends to overshoot the rank).
+  bool recompress = true;
+
+  TruncationParams truncation() const { return {eps, max_rank}; }
+};
+
+/// Compress the implicit block gen(i, j), i < m, j < n.
+template <typename T, typename Gen>
+RkMatrix<T> compress(const Gen& gen, index_t m, index_t n,
+                     const CompressionParams& params) {
+  RkMatrix<T> result;
+  switch (params.method) {
+    case CompressionMethod::AcaPartial:
+      result = aca_partial<T>(gen, m, n, params.eps, params.max_rank);
+      if (params.recompress) truncate(result, params.truncation());
+      return result;
+    case CompressionMethod::AcaFull:
+      result = aca_full<T>(gen, m, n, params.eps, params.max_rank);
+      if (params.recompress) truncate(result, params.truncation());
+      return result;
+    case CompressionMethod::Svd: {
+      la::Matrix<T> dense(m, n);
+      for (index_t j = 0; j < n; ++j)
+        for (index_t i = 0; i < m; ++i) dense(i, j) = gen(i, j);
+      return compress_svd(dense.cview(), params.truncation());
+    }
+  }
+  return result;
+}
+
+}  // namespace hcham::rk

@@ -1,0 +1,108 @@
+// Low-rank matrix representation: A ~= U * V^H with U (m x k), V (n x k).
+//
+// This is the "Rk-matrix" building block of H-arithmetic: admissible blocks
+// of the block cluster tree are stored in this factored form, and all
+// H-kernels (H-GEMM, H-TRSM, H-LU) manipulate the factors directly.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "la/gemm.hpp"
+#include "la/matrix.hpp"
+
+namespace hcham::rk {
+
+template <typename T>
+class RkMatrix {
+ public:
+  RkMatrix() = default;
+
+  /// Zero matrix of the given shape (rank 0).
+  RkMatrix(index_t rows, index_t cols) : rows_(rows), cols_(cols) {}
+
+  /// Adopt factors: A = u * v^H. u is rows x k, v is cols x k.
+  RkMatrix(la::Matrix<T> u, la::Matrix<T> v)
+      : rows_(u.rows()), cols_(v.rows()), u_(std::move(u)), v_(std::move(v)) {
+    HCHAM_CHECK(u_.cols() == v_.cols());
+  }
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  index_t rank() const { return u_.cols(); }
+  bool is_zero() const { return rank() == 0; }
+
+  la::Matrix<T>& u() { return u_; }
+  la::Matrix<T>& v() { return v_; }
+  const la::Matrix<T>& u() const { return u_; }
+  const la::Matrix<T>& v() const { return v_; }
+
+  /// Number of scalars stored (the H-compression metric).
+  index_t stored_elements() const { return (rows_ + cols_) * rank(); }
+
+  /// Replace the factors (shape must be preserved).
+  void set_factors(la::Matrix<T> u, la::Matrix<T> v) {
+    HCHAM_CHECK(u.rows() == rows_ && v.rows() == cols_ &&
+                u.cols() == v.cols());
+    u_ = std::move(u);
+    v_ = std::move(v);
+  }
+
+  void set_zero() {
+    u_.reset(rows_, 0);
+    v_.reset(cols_, 0);
+  }
+
+  /// Densify: returns U * V^H.
+  la::Matrix<T> dense() const {
+    la::Matrix<T> d(rows_, cols_);
+    add_to(T{1}, d.view());
+    return d;
+  }
+
+  /// dst += alpha * U * V^H.
+  void add_to(T alpha, la::MatrixView<T> dst) const {
+    HCHAM_CHECK(dst.rows() == rows_ && dst.cols() == cols_);
+    if (is_zero()) return;
+    la::gemm(la::Op::NoTrans, la::Op::ConjTrans, alpha, u_.cview(),
+             v_.cview(), T{1}, dst);
+  }
+
+  /// y += alpha * op(U V^H) x, for op in {N, T, C}.
+  void gemv(la::Op op, T alpha, const T* x, T* y) const {
+    if (is_zero()) return;
+    const index_t k = rank();
+    std::vector<T> tmp(static_cast<std::size_t>(k));
+    switch (op) {
+      case la::Op::NoTrans:
+        // y += alpha U (V^H x)
+        la::gemv(la::Op::ConjTrans, T{1}, v_.cview(), x, T{}, tmp.data());
+        la::gemv(la::Op::NoTrans, alpha, u_.cview(), tmp.data(), T{1}, y);
+        break;
+      case la::Op::ConjTrans:
+        // (U V^H)^H = V U^H: y += alpha V (U^H x)
+        la::gemv(la::Op::ConjTrans, T{1}, u_.cview(), x, T{}, tmp.data());
+        la::gemv(la::Op::NoTrans, alpha, v_.cview(), tmp.data(), T{1}, y);
+        break;
+      case la::Op::Trans: {
+        // (U V^H)^T = conj(V) U^T: y += alpha conj(V) (U^T x)
+        la::gemv(la::Op::Trans, T{1}, u_.cview(), x, T{}, tmp.data());
+        for (index_t i = 0; i < cols_; ++i) {
+          T acc{};
+          for (index_t l = 0; l < k; ++l)
+            acc += conj_if(v_(i, l)) * tmp[static_cast<std::size_t>(l)];
+          y[i] += alpha * acc;
+        }
+        break;
+      }
+    }
+  }
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  la::Matrix<T> u_;  // rows_ x k
+  la::Matrix<T> v_;  // cols_ x k
+};
+
+}  // namespace hcham::rk

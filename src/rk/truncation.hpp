@@ -1,0 +1,113 @@
+// Rank truncation (recompression) of Rk-matrices, the operation that keeps
+// H-arithmetic log-linear (paper Section II-A).
+//
+// The standard QR+SVD scheme is used: factor U = Qu Ru and V = Qv Rv, take
+// the SVD of the small core Ru Rv^H, and keep the singular triplets above
+// the relative tolerance (and below the rank cap). Rounded addition
+// concatenates factors and truncates.
+#pragma once
+
+#include <algorithm>
+
+#include "la/qr.hpp"
+#include "la/svd.hpp"
+#include "rk/rk_matrix.hpp"
+
+namespace hcham::rk {
+
+/// Truncation control: keep sigma_i > eps * sigma_0, at most max_rank
+/// triplets (max_rank < 0 means unbounded).
+struct TruncationParams {
+  double eps = 1e-6;
+  index_t max_rank = -1;
+
+  index_t select_rank(const std::vector<double>& sigma) const {
+    index_t r = la::numerical_rank(sigma, eps);
+    if (max_rank >= 0) r = std::min(r, max_rank);
+    return r;
+  }
+};
+
+/// Truncate `a` in place to the requested accuracy. Returns the new rank.
+template <typename T>
+index_t truncate(RkMatrix<T>& a, const TruncationParams& params) {
+  const index_t k = a.rank();
+  if (k == 0) return 0;
+  // A rank never exceeds min(m, n); also fast-path exact zero factors.
+  const index_t m = a.rows();
+  const index_t n = a.cols();
+
+  la::Matrix<T> qu, ru, qv, rv;
+  la::qr_thin<T>(a.u().cview(), qu, ru);
+  la::qr_thin<T>(a.v().cview(), qv, rv);
+  const index_t ku = ru.rows();  // min(m, k)
+  const index_t kv = rv.rows();  // min(n, k)
+
+  // Core = Ru * Rv^H (ku x kv).
+  la::Matrix<T> core(ku, kv);
+  la::gemm(la::Op::NoTrans, la::Op::ConjTrans, T{1}, ru.cview(), rv.cview(),
+           T{}, core.view());
+  auto s = la::svd<T>(core.cview());
+
+  std::vector<double> sigma(s.sigma.begin(), s.sigma.end());
+  const index_t r = params.select_rank(sigma);
+  if (r == 0) {
+    a.set_zero();
+    return 0;
+  }
+
+  // New U = Qu * (Uhat_r * Sigma_r), new V = Qv * Vhat_r.
+  la::Matrix<T> us(ku, r);
+  for (index_t j = 0; j < r; ++j)
+    for (index_t i = 0; i < ku; ++i)
+      us(i, j) = s.u(i, j) * T(s.sigma[static_cast<std::size_t>(j)]);
+  la::Matrix<T> nu(m, r), nv(n, r);
+  la::gemm(la::Op::NoTrans, la::Op::NoTrans, T{1}, qu.cview(), us.cview(),
+           T{}, nu.view());
+  la::gemm(la::Op::NoTrans, la::Op::NoTrans, T{1}, qv.cview(),
+           s.v.block(0, 0, kv, r), T{}, nv.view());
+  a.set_factors(std::move(nu), std::move(nv));
+  return r;
+}
+
+/// c += alpha * a, followed by truncation ("rounded addition").
+template <typename T>
+void rounded_add(RkMatrix<T>& c, T alpha, const RkMatrix<T>& a,
+                 const TruncationParams& params) {
+  HCHAM_CHECK(c.rows() == a.rows() && c.cols() == a.cols());
+  if (a.is_zero() || alpha == T{}) return;
+  const index_t kc = c.rank();
+  const index_t ka = a.rank();
+  la::Matrix<T> u(c.rows(), kc + ka), v(c.cols(), kc + ka);
+  if (kc > 0) {
+    la::copy<T>(c.u().cview(), u.block(0, 0, c.rows(), kc));
+    la::copy<T>(c.v().cview(), v.block(0, 0, c.cols(), kc));
+  }
+  // alpha * Ua Va^H: fold alpha into the U factor.
+  la::copy<T>(a.u().cview(), u.block(0, kc, a.rows(), ka));
+  la::scal(alpha, u.block(0, kc, a.rows(), ka));
+  la::copy<T>(a.v().cview(), v.block(0, kc, a.cols(), ka));
+  c.set_factors(std::move(u), std::move(v));
+  truncate(c, params);
+}
+
+/// Compress a dense block into an RkMatrix by truncated SVD.
+template <typename T>
+RkMatrix<T> compress_svd(la::ConstMatrixView<T> a,
+                         const TruncationParams& params) {
+  auto s = la::svd<T>(a);
+  std::vector<double> sigma(s.sigma.begin(), s.sigma.end());
+  const index_t r = params.select_rank(sigma);
+  RkMatrix<T> result(a.rows(), a.cols());
+  if (r == 0) return result;
+  la::Matrix<T> u(a.rows(), r), v(a.cols(), r);
+  for (index_t j = 0; j < r; ++j) {
+    const T s_j = T(s.sigma[static_cast<std::size_t>(j)]);
+    for (index_t i = 0; i < a.rows(); ++i) u(i, j) = s.u(i, j) * s_j;
+    for (index_t i = 0; i < a.cols(); ++i) v(i, j) = s.v(i, j);
+  }
+  result.set_factors(std::move(u), std::move(v));
+  return result;
+}
+
+}  // namespace hcham::rk

@@ -1,0 +1,402 @@
+#include "runtime/engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "common/timer.hpp"
+
+namespace hcham::rt {
+
+namespace {
+
+struct Task {
+  TaskId id = -1;
+  std::function<void()> fn;
+  std::string label;
+  int priority = 0;
+  std::vector<TaskId> successors;
+  index_t num_deps = 0;  ///< static in-degree (for graph export)
+  index_t pending = 0;   ///< unresolved dependencies (runtime countdown)
+  double duration_s = 0.0;
+  bool done = false;
+  TaskId last_edge_to = -1;  ///< dedupe mark: all edges to one task are
+                             ///< added within a single submit() call
+};
+
+struct HandleState {
+  std::string name;
+  TaskId last_writer = -1;
+  std::vector<TaskId> readers_since_write;
+};
+
+/// Priority order: higher priority first, then older task first.
+struct PrioLess {
+  const std::vector<Task>* tasks;
+  bool operator()(TaskId a, TaskId b) const {
+    const Task& ta = (*tasks)[static_cast<std::size_t>(a)];
+    const Task& tb = (*tasks)[static_cast<std::size_t>(b)];
+    if (ta.priority != tb.priority) return ta.priority < tb.priority;
+    return ta.id > tb.id;  // older first when popped from a max-heap
+  }
+};
+
+}  // namespace
+
+struct Engine::Impl {
+  Options opts;
+  std::vector<Task> tasks;
+  std::vector<HandleState> handles;
+  std::vector<TraceEvent> trace;
+
+  // Execution state (valid during wait_all).
+  std::mutex mu;
+  std::condition_variable cv;
+  index_t remaining = 0;
+  std::exception_ptr first_error;
+  int seed_rr = 0;  ///< round-robin seed target for initially-ready tasks
+
+  // Scheduler queues.
+  std::vector<TaskId> prio_heap;                 // policy: prio
+  std::vector<std::deque<TaskId>> worker_deques; // policy: ws
+  std::vector<std::vector<TaskId>> worker_heaps; // policy: lws
+
+  std::chrono::steady_clock::time_point epoch_start;
+
+  explicit Impl(Options o) : opts(o) {
+    HCHAM_CHECK(opts.num_workers >= 1);
+  }
+
+  void add_edge(TaskId from, TaskId to) {
+    Task& src = tasks[static_cast<std::size_t>(from)];
+    if (src.done) return;  // dependency already satisfied (earlier epoch)
+    if (src.last_edge_to == to) return;  // dedupe within this submit
+    src.last_edge_to = to;
+    src.successors.push_back(to);
+    Task& dst = tasks[static_cast<std::size_t>(to)];
+    ++dst.num_deps;
+    ++dst.pending;
+  }
+
+  // --- scheduler plumbing (all under mu) ---------------------------------
+
+  void make_ready(TaskId id, int releasing_worker) {
+    switch (opts.policy) {
+      case SchedulerPolicy::Priority:
+        prio_heap.push_back(id);
+        std::push_heap(prio_heap.begin(), prio_heap.end(),
+                       PrioLess{&tasks});
+        break;
+      case SchedulerPolicy::WorkStealing:
+        worker_deques[static_cast<std::size_t>(releasing_worker)]
+            .push_back(id);
+        break;
+      case SchedulerPolicy::LocalityWorkStealing: {
+        auto& heap =
+            worker_heaps[static_cast<std::size_t>(releasing_worker)];
+        heap.push_back(id);
+        std::push_heap(heap.begin(), heap.end(), PrioLess{&tasks});
+        break;
+      }
+    }
+  }
+
+  /// Seed target for tasks that are ready at submission time ("released by
+  /// the main thread"): spread round-robin across workers.
+  int next_seed_worker() {
+    const int w = seed_rr;
+    seed_rr = (seed_rr + 1) % opts.num_workers;
+    return w;
+  }
+
+  TaskId pick_task(int w) {
+    switch (opts.policy) {
+      case SchedulerPolicy::Priority: {
+        if (prio_heap.empty()) return -1;
+        std::pop_heap(prio_heap.begin(), prio_heap.end(), PrioLess{&tasks});
+        const TaskId id = prio_heap.back();
+        prio_heap.pop_back();
+        return id;
+      }
+      case SchedulerPolicy::WorkStealing: {
+        auto& own = worker_deques[static_cast<std::size_t>(w)];
+        if (!own.empty()) {
+          const TaskId id = own.back();  // LIFO on the owner side
+          own.pop_back();
+          return id;
+        }
+        // Steal from the most loaded worker (FIFO on the thief side).
+        int victim = -1;
+        std::size_t best = 0;
+        for (int v = 0; v < opts.num_workers; ++v) {
+          if (v == w) continue;
+          const std::size_t sz =
+              worker_deques[static_cast<std::size_t>(v)].size();
+          if (sz > best) {
+            best = sz;
+            victim = v;
+          }
+        }
+        if (victim < 0) return -1;
+        auto& vq = worker_deques[static_cast<std::size_t>(victim)];
+        const TaskId id = vq.front();
+        vq.pop_front();
+        return id;
+      }
+      case SchedulerPolicy::LocalityWorkStealing: {
+        auto& own = worker_heaps[static_cast<std::size_t>(w)];
+        if (!own.empty()) {
+          std::pop_heap(own.begin(), own.end(), PrioLess{&tasks});
+          const TaskId id = own.back();
+          own.pop_back();
+          return id;
+        }
+        // Steal from neighbours in ring order, respecting priorities.
+        for (int d = 1; d < opts.num_workers; ++d) {
+          const int v = (w + d) % opts.num_workers;
+          auto& vq = worker_heaps[static_cast<std::size_t>(v)];
+          if (vq.empty()) continue;
+          std::pop_heap(vq.begin(), vq.end(), PrioLess{&tasks});
+          const TaskId id = vq.back();
+          vq.pop_back();
+          return id;
+        }
+        return -1;
+      }
+    }
+    return -1;
+  }
+
+  // --- execution -----------------------------------------------------------
+
+  void run_sequential() {
+    // STF guarantees dependencies point backwards, so submission order is a
+    // valid topological order.
+    const auto t0 = std::chrono::steady_clock::now();
+    for (Task& t : tasks) {
+      if (t.done) continue;
+      HCHAM_DCHECK(t.pending == 0 || [&] {
+        // All predecessors executed earlier in this loop.
+        return true;
+      }());
+      const double start =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      Timer timer;
+      try {
+        t.fn();
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+      }
+      t.duration_s = timer.seconds();
+      t.done = true;
+      t.pending = 0;
+      if (opts.record_trace)
+        trace.push_back(TraceEvent{t.id, 0, start, start + t.duration_s});
+    }
+  }
+
+  void worker_loop(int w, const std::chrono::steady_clock::time_point t0) {
+    std::unique_lock<std::mutex> lk(mu);
+    while (true) {
+      if (remaining == 0) {
+        cv.notify_all();
+        return;
+      }
+      const TaskId id = pick_task(w);
+      if (id < 0) {
+        cv.wait(lk);
+        continue;
+      }
+      Task& t = tasks[static_cast<std::size_t>(id)];
+      lk.unlock();
+      const double start =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      Timer timer;
+      std::exception_ptr error;
+      try {
+        t.fn();
+      } catch (...) {
+        error = std::current_exception();
+      }
+      const double dur = timer.seconds();
+      lk.lock();
+      if (error && !first_error) first_error = error;
+      t.duration_s = dur;
+      t.done = true;
+      bool woke = false;
+      for (const TaskId succ : t.successors) {
+        Task& s = tasks[static_cast<std::size_t>(succ)];
+        if (--s.pending == 0) {
+          make_ready(succ, w);
+          woke = true;
+        }
+      }
+      --remaining;
+      if (opts.record_trace)
+        trace.push_back(TraceEvent{t.id, w, start, start + dur});
+      if (remaining == 0 || woke) cv.notify_all();
+    }
+  }
+
+  void run_parallel() {
+    const auto t0 = std::chrono::steady_clock::now();
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      remaining = 0;
+      prio_heap.clear();
+      worker_deques.assign(static_cast<std::size_t>(opts.num_workers), {});
+      worker_heaps.assign(static_cast<std::size_t>(opts.num_workers), {});
+      for (Task& t : tasks) {
+        if (t.done) continue;
+        ++remaining;
+        if (t.pending == 0) make_ready(t.id, next_seed_worker());
+      }
+      if (remaining == 0) return;
+    }
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(opts.num_workers));
+    for (int w = 0; w < opts.num_workers; ++w)
+      pool.emplace_back([this, w, t0] { worker_loop(w, t0); });
+    for (auto& th : pool) th.join();
+  }
+};
+
+Engine::Engine() : Engine(Options{}) {}
+Engine::Engine(Options opts) : impl_(std::make_unique<Impl>(opts)) {}
+Engine::~Engine() = default;
+
+Handle Engine::register_data(std::string name) {
+  impl_->handles.push_back(HandleState{std::move(name), -1, {}});
+  return Handle{static_cast<index_t>(impl_->handles.size()) - 1};
+}
+
+TaskId Engine::submit(std::function<void()> fn, std::vector<Access> accesses,
+                      int priority, std::string label) {
+  const TaskId id = static_cast<TaskId>(impl_->tasks.size());
+  Task t;
+  t.id = id;
+  t.fn = std::move(fn);
+  t.label = std::move(label);
+  t.priority = priority;
+  impl_->tasks.push_back(std::move(t));
+
+  for (const Access& a : accesses) {
+    HCHAM_CHECK_MSG(a.handle.valid() &&
+                        a.handle.id < static_cast<index_t>(
+                                          impl_->handles.size()),
+                    "unknown data handle");
+    HandleState& hs = impl_->handles[static_cast<std::size_t>(a.handle.id)];
+    if (a.mode == AccessMode::Read) {
+      if (hs.last_writer >= 0) impl_->add_edge(hs.last_writer, id);
+      hs.readers_since_write.push_back(id);
+    } else {
+      // Write / ReadWrite: after the last writer and every reader since.
+      if (hs.last_writer >= 0) impl_->add_edge(hs.last_writer, id);
+      for (const TaskId r : hs.readers_since_write)
+        if (r != id) impl_->add_edge(r, id);
+      hs.readers_since_write.clear();
+      hs.last_writer = id;
+    }
+  }
+  return id;
+}
+
+void Engine::wait_all() {
+  if (impl_->opts.num_workers == 1) {
+    impl_->run_sequential();
+  } else {
+    impl_->run_parallel();
+  }
+  // Surface the first task failure to the caller. Remaining tasks have
+  // been drained (dependents of the failed task still ran; kernels are
+  // written to be safe on inconsistent inputs), so the engine stays usable.
+  if (impl_->first_error) {
+    std::exception_ptr e = impl_->first_error;
+    impl_->first_error = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+index_t Engine::num_tasks() const {
+  return static_cast<index_t>(impl_->tasks.size());
+}
+
+index_t Engine::num_edges() const {
+  index_t e = 0;
+  for (const Task& t : impl_->tasks)
+    e += static_cast<index_t>(t.successors.size());
+  return e;
+}
+
+int Engine::num_workers() const { return impl_->opts.num_workers; }
+SchedulerPolicy Engine::policy() const { return impl_->opts.policy; }
+
+TaskGraph Engine::graph() const {
+  TaskGraph g;
+  g.nodes.reserve(impl_->tasks.size());
+  for (const Task& t : impl_->tasks) {
+    TaskGraph::Node n;
+    n.label = t.label;
+    n.priority = t.priority;
+    n.duration_s = t.duration_s;
+    n.successors = t.successors;
+    n.num_dependencies = t.num_deps;
+    g.nodes.push_back(std::move(n));
+  }
+  return g;
+}
+
+const std::vector<TraceEvent>& Engine::trace() const { return impl_->trace; }
+
+std::string Engine::to_dot() const {
+  std::ostringstream out;
+  out << "digraph tasks {\n";
+  for (const Task& t : impl_->tasks) {
+    out << "  t" << t.id << " [label=\""
+        << (t.label.empty() ? std::to_string(t.id) : t.label) << "\"];\n";
+  }
+  for (const Task& t : impl_->tasks)
+    for (const TaskId s : t.successors)
+      out << "  t" << t.id << " -> t" << s << ";\n";
+  out << "}\n";
+  return out.str();
+}
+
+TaskGraph TaskGraph::tail_from(index_t first) const {
+  HCHAM_CHECK(first >= 0 && first <= num_tasks());
+  TaskGraph g;
+  g.nodes.reserve(static_cast<std::size_t>(num_tasks() - first));
+  for (index_t i = first; i < num_tasks(); ++i) {
+    Node n = nodes[static_cast<std::size_t>(i)];
+    for (TaskId& s : n.successors) {
+      HCHAM_CHECK_MSG(s >= first, "edge crosses the sub-graph boundary");
+      s -= first;
+    }
+    g.nodes.push_back(std::move(n));
+  }
+  return g;
+}
+
+double TaskGraph::critical_path_s() const {
+  // Task ids ascend in submission order and edges point forward, so a
+  // reverse sweep computes longest paths.
+  std::vector<double> cp(nodes.size(), 0.0);
+  for (index_t i = static_cast<index_t>(nodes.size()) - 1; i >= 0; --i) {
+    const Node& n = nodes[static_cast<std::size_t>(i)];
+    double best = 0.0;
+    for (const TaskId s : n.successors)
+      best = std::max(best, cp[static_cast<std::size_t>(s)]);
+    cp[static_cast<std::size_t>(i)] = n.duration_s + best;
+  }
+  double result = 0.0;
+  for (const double v : cp) result = std::max(result, v);
+  return result;
+}
+
+}  // namespace hcham::rt

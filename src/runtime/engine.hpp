@@ -1,0 +1,71 @@
+// The task engine: a sequential-task-flow runtime in the style of STARPU.
+//
+// Usage mirrors the paper's description of CHAMELEON over STARPU:
+//   Engine eng({.num_workers = 4, .policy = SchedulerPolicy::Priority});
+//   auto hA = eng.register_data("A");
+//   eng.submit([=]{ ... }, {readwrite(hA)}, /*priority=*/3, "getrf");
+//   eng.wait_all();
+// Dependencies are inferred automatically from the declared accesses:
+// a writer waits for all previous readers and writers of the handle, a
+// reader waits for the last writer. Tasks are submitted from one thread
+// (the sequential task flow); wait_all() executes the graph on the worker
+// pool with the selected scheduling policy and records per-task durations,
+// which the simulator then replays at other worker counts.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/types.hpp"
+
+namespace hcham::rt {
+
+class Engine {
+ public:
+  struct Options {
+    int num_workers = 1;
+    SchedulerPolicy policy = SchedulerPolicy::Priority;
+    bool record_trace = false;
+  };
+
+  Engine();
+  explicit Engine(Options opts);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Register a piece of data; the name shows up in DOT dumps.
+  Handle register_data(std::string name = "");
+
+  /// Submit a task. Must not be called while wait_all() is running.
+  TaskId submit(std::function<void()> fn, std::vector<Access> accesses,
+                int priority = 0, std::string label = "");
+
+  /// Execute all pending tasks; returns when the graph has drained.
+  /// Re-submission after wait_all() is allowed (the engine keeps handle
+  /// states, so later tasks still depend on earlier epochs' tasks).
+  void wait_all();
+
+  index_t num_tasks() const;
+  index_t num_edges() const;
+  int num_workers() const;
+  SchedulerPolicy policy() const;
+
+  /// Snapshot of the graph; durations are valid after wait_all().
+  TaskGraph graph() const;
+
+  /// Execution trace (empty unless Options::record_trace).
+  const std::vector<TraceEvent>& trace() const;
+
+  /// Graphviz rendering of the dependency DAG (paper Fig. 1).
+  std::string to_dot() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace hcham::rt

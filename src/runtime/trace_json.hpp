@@ -1,0 +1,34 @@
+// Export an execution trace in the Chrome tracing JSON format
+// (chrome://tracing, Perfetto): one lane per worker, one slice per task.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "runtime/types.hpp"
+
+namespace hcham::rt {
+
+/// Write `trace` to `out`. Labels come from the matching task graph when
+/// provided (pass {} to use task ids).
+inline void trace_to_json(const std::vector<TraceEvent>& trace,
+                          const TaskGraph& graph, std::ostream& out) {
+  out << "[\n";
+  bool first = true;
+  for (const TraceEvent& ev : trace) {
+    if (!first) out << ",\n";
+    first = false;
+    std::string name = "task" + std::to_string(ev.task);
+    if (ev.task >= 0 && ev.task < graph.num_tasks() &&
+        !graph.nodes[static_cast<std::size_t>(ev.task)].label.empty()) {
+      name = graph.nodes[static_cast<std::size_t>(ev.task)].label;
+    }
+    out << "  {\"name\": \"" << name << "\", \"ph\": \"X\", \"pid\": 0, "
+        << "\"tid\": " << ev.worker << ", \"ts\": " << ev.start_s * 1e6
+        << ", \"dur\": " << (ev.end_s - ev.start_s) * 1e6 << "}";
+  }
+  out << "\n]\n";
+}
+
+}  // namespace hcham::rt

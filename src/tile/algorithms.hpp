@@ -1,0 +1,260 @@
+// Tiled algorithms over the task runtime (paper Algorithm 1 and Section
+// II-B): tasks are submitted in sequential-task-flow order with access
+// modes on tile handles; the engine infers the DAG of Fig. 1.
+//
+// Priorities follow the classic CHAMELEON scheme: the critical path
+// (GETRF) gets the highest priority, panel TRSMs are next, trailing GEMMs
+// lowest, each decaying with the iteration so early panels run first.
+#pragma once
+
+#include "runtime/engine.hpp"
+#include "tile/kernels.hpp"
+#include "tile/tile_desc.hpp"
+
+namespace hcham::tile {
+
+/// Tiled right-looking LU (paper Algorithm 1). Submits the whole task
+/// graph; call engine.wait_all() to execute. Factorization is unpivoted.
+template <typename T>
+void tiled_getrf(rt::Engine& engine, TileDesc<T>& a,
+                 const rk::TruncationParams& tp) {
+  HCHAM_CHECK(a.rows() == a.cols());
+  const index_t nt = a.nt();
+  for (index_t k = 0; k < nt; ++k) {
+    const int base = static_cast<int>(nt - k);
+    engine.submit(
+        [&a, k, tp] {
+          const int info = kernel_getrf(a.tile(k, k), tp);
+          HCHAM_CHECK_MSG(info == 0, "zero pivot in tiled LU");
+        },
+        {rt::readwrite(a.handle(k, k))}, 3 * base, "getrf");
+    for (index_t j = k + 1; j < nt; ++j) {
+      engine.submit(
+          [&a, k, j, tp] { kernel_trsm_lower(a.tile(k, k), a.tile(k, j), tp); },
+          {rt::read(a.handle(k, k)), rt::readwrite(a.handle(k, j))},
+          2 * base, "trsm");
+    }
+    for (index_t i = k + 1; i < nt; ++i) {
+      engine.submit(
+          [&a, k, i, tp] { kernel_trsm_upper(a.tile(k, k), a.tile(i, k), tp); },
+          {rt::read(a.handle(k, k)), rt::readwrite(a.handle(i, k))},
+          2 * base, "trsm");
+    }
+    for (index_t i = k + 1; i < nt; ++i) {
+      for (index_t j = k + 1; j < nt; ++j) {
+        engine.submit(
+            [&a, k, i, j, tp] {
+              kernel_gemm(T{-1}, a.tile(i, k), a.tile(k, j), a.tile(i, j),
+                          tp);
+            },
+            {rt::read(a.handle(i, k)), rt::read(a.handle(k, j)),
+             rt::readwrite(a.handle(i, j))},
+            base, "gemm");
+      }
+    }
+  }
+}
+
+/// Tiled product C = alpha A B + beta C.
+template <typename T>
+void tiled_gemm(rt::Engine& engine, T alpha, const TileDesc<T>& a,
+                const TileDesc<T>& b, T beta, TileDesc<T>& c,
+                const rk::TruncationParams& tp) {
+  HCHAM_CHECK(a.rows() == c.rows() && b.cols() == c.cols() &&
+              a.cols() == b.rows());
+  HCHAM_CHECK(a.tile_size() == b.tile_size() &&
+              a.tile_size() == c.tile_size());
+  for (index_t i = 0; i < c.mt(); ++i) {
+    for (index_t j = 0; j < c.nt(); ++j) {
+      if (beta != T{1}) {
+        engine.submit(
+            [&c, i, j, beta] {
+              Tile<T>& t = c.tile(i, j);
+              HCHAM_CHECK_MSG(t.format == TileFormat::Full,
+                              "tiled_gemm scaling supports dense C tiles");
+              la::scal(beta, t.full.view());
+            },
+            {rt::readwrite(c.handle(i, j))}, 1, "scal");
+      }
+      for (index_t k = 0; k < a.nt(); ++k) {
+        engine.submit(
+            [&a, &b, &c, i, j, k, alpha, tp] {
+              kernel_gemm(alpha, a.tile(i, k), b.tile(k, j), c.tile(i, j),
+                          tp);
+            },
+            {rt::read(a.handle(i, k)), rt::read(b.handle(k, j)),
+             rt::readwrite(c.handle(i, j))},
+            0, "gemm");
+      }
+    }
+  }
+}
+
+/// Solve (L U) X = B with the factors from tiled_getrf; B is a dense
+/// right-hand-side block partitioned row-wise by the tile grid.
+template <typename T>
+void tiled_getrs(rt::Engine& engine, const TileDesc<T>& a,
+                 la::MatrixView<T> b) {
+  HCHAM_CHECK(a.rows() == a.cols() && b.rows() == a.rows());
+  const index_t nt = a.nt();
+  // One handle per RHS segment for this solve.
+  std::vector<rt::Handle> seg(static_cast<std::size_t>(nt));
+  for (index_t k = 0; k < nt; ++k)
+    seg[static_cast<std::size_t>(k)] = engine.register_data("rhs");
+
+  auto segment = [&a, b](index_t k) {
+    return b.block(a.row_offset(k), 0, a.tile_rows(k), b.cols());
+  };
+
+  // Forward substitution with L (unit lower).
+  for (index_t k = 0; k < nt; ++k) {
+    engine.submit(
+        [&a, segment, k] { kernel_solve_lower(a.tile(k, k), segment(k)); },
+        {rt::read(a.handle(k, k)),
+         rt::readwrite(seg[static_cast<std::size_t>(k)])},
+        2, "solve_l");
+    for (index_t i = k + 1; i < nt; ++i) {
+      engine.submit(
+          [&a, segment, i, k] {
+            auto bi = segment(i);
+            auto bk = segment(k);
+            for (index_t c = 0; c < bi.cols(); ++c)
+              kernel_gemv(la::Op::NoTrans, T{-1}, a.tile(i, k), bk.col(c),
+                          bi.col(c));
+          },
+          {rt::read(a.handle(i, k)),
+           rt::read(seg[static_cast<std::size_t>(k)]),
+           rt::readwrite(seg[static_cast<std::size_t>(i)])},
+          1, "gemv");
+    }
+  }
+  // Backward substitution with U (non-unit upper).
+  for (index_t k = nt - 1; k >= 0; --k) {
+    engine.submit(
+        [&a, segment, k] { kernel_solve_upper(a.tile(k, k), segment(k)); },
+        {rt::read(a.handle(k, k)),
+         rt::readwrite(seg[static_cast<std::size_t>(k)])},
+        2, "solve_u");
+    for (index_t i = k - 1; i >= 0; --i) {
+      engine.submit(
+          [&a, segment, i, k] {
+            auto bi = segment(i);
+            auto bk = segment(k);
+            for (index_t c = 0; c < bi.cols(); ++c)
+              kernel_gemv(la::Op::NoTrans, T{-1}, a.tile(i, k), bk.col(c),
+                          bi.col(c));
+          },
+          {rt::read(a.handle(i, k)),
+           rt::read(seg[static_cast<std::size_t>(k)]),
+           rt::readwrite(seg[static_cast<std::size_t>(i)])},
+          1, "gemv");
+    }
+  }
+}
+
+/// Tiled lower Cholesky (POTRF): the symmetric counterpart of
+/// tiled_getrf for Hermitian positive-definite matrices. Only the lower
+/// tile triangle is read/written.
+template <typename T>
+void tiled_potrf(rt::Engine& engine, TileDesc<T>& a,
+                 const rk::TruncationParams& tp) {
+  HCHAM_CHECK(a.rows() == a.cols());
+  const index_t nt = a.nt();
+  for (index_t k = 0; k < nt; ++k) {
+    const int base = static_cast<int>(nt - k);
+    engine.submit(
+        [&a, k, tp] {
+          const int info = kernel_potrf(a.tile(k, k), tp);
+          HCHAM_CHECK_MSG(info == 0,
+                          "non-positive-definite pivot in tiled Cholesky");
+        },
+        {rt::readwrite(a.handle(k, k))}, 3 * base, "potrf");
+    for (index_t i = k + 1; i < nt; ++i) {
+      engine.submit(
+          [&a, k, i, tp] {
+            kernel_trsm_lower_right_adjoint(a.tile(k, k), a.tile(i, k), tp);
+          },
+          {rt::read(a.handle(k, k)), rt::readwrite(a.handle(i, k))},
+          2 * base, "trsm");
+    }
+    for (index_t i = k + 1; i < nt; ++i) {
+      for (index_t j = k + 1; j <= i; ++j) {
+        // A_ij -= A_ik * A_jk^H (HERK when i == j).
+        engine.submit(
+            [&a, k, i, j, tp] {
+              kernel_gemm_adjoint_b(T{-1}, a.tile(i, k), a.tile(j, k),
+                                    a.tile(i, j), tp);
+            },
+            {rt::read(a.handle(i, k)), rt::read(a.handle(j, k)),
+             rt::readwrite(a.handle(i, j))},
+            base, i == j ? "herk" : "gemm");
+      }
+    }
+  }
+}
+
+/// Solve (L L^H) X = B with the factors from tiled_potrf.
+template <typename T>
+void tiled_potrs(rt::Engine& engine, const TileDesc<T>& a,
+                 la::MatrixView<T> b) {
+  HCHAM_CHECK(a.rows() == a.cols() && b.rows() == a.rows());
+  const index_t nt = a.nt();
+  std::vector<rt::Handle> seg(static_cast<std::size_t>(nt));
+  for (index_t k = 0; k < nt; ++k)
+    seg[static_cast<std::size_t>(k)] = engine.register_data("rhs");
+
+  auto segment = [&a, b](index_t k) {
+    return b.block(a.row_offset(k), 0, a.tile_rows(k), b.cols());
+  };
+
+  // Forward with L (non-unit lower).
+  for (index_t k = 0; k < nt; ++k) {
+    engine.submit(
+        [&a, segment, k] {
+          kernel_solve_lower_nonunit(a.tile(k, k), segment(k));
+        },
+        {rt::read(a.handle(k, k)),
+         rt::readwrite(seg[static_cast<std::size_t>(k)])},
+        2, "solve_l");
+    for (index_t i = k + 1; i < nt; ++i) {
+      engine.submit(
+          [&a, segment, i, k] {
+            auto bi = segment(i);
+            auto bk = segment(k);
+            for (index_t c = 0; c < bi.cols(); ++c)
+              kernel_gemv(la::Op::NoTrans, T{-1}, a.tile(i, k), bk.col(c),
+                          bi.col(c));
+          },
+          {rt::read(a.handle(i, k)),
+           rt::read(seg[static_cast<std::size_t>(k)]),
+           rt::readwrite(seg[static_cast<std::size_t>(i)])},
+          1, "gemv");
+    }
+  }
+  // Backward with L^H: x_k = L_kk^-H (b_k - sum_{i>k} L_ik^H x_i).
+  for (index_t k = nt - 1; k >= 0; --k) {
+    for (index_t i = k + 1; i < nt; ++i) {
+      engine.submit(
+          [&a, segment, i, k] {
+            auto bk = segment(k);
+            auto bi = segment(i);
+            for (index_t c = 0; c < bk.cols(); ++c)
+              kernel_gemv(la::Op::ConjTrans, T{-1}, a.tile(i, k), bi.col(c),
+                          bk.col(c));
+          },
+          {rt::read(a.handle(i, k)),
+           rt::read(seg[static_cast<std::size_t>(i)]),
+           rt::readwrite(seg[static_cast<std::size_t>(k)])},
+          1, "gemv");
+    }
+    engine.submit(
+        [&a, segment, k] {
+          kernel_solve_lower_adjoint(a.tile(k, k), segment(k));
+        },
+        {rt::read(a.handle(k, k)),
+         rt::readwrite(seg[static_cast<std::size_t>(k)])},
+        2, "solve_lh");
+  }
+}
+
+}  // namespace hcham::tile

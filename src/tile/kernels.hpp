@@ -1,0 +1,156 @@
+// Per-tile computational kernels with the format switch (paper Section
+// IV-D): the tiled algorithms call these, and the CHAM_tile_t-style format
+// field selects the dense (LAPACK-like) or hierarchical (hmat-like)
+// implementation.
+#pragma once
+
+#include "hmatrix/adjoint.hpp"
+#include "hmatrix/hchol.hpp"
+#include "hmatrix/hgemm.hpp"
+#include "hmatrix/hlu.hpp"
+#include "hmatrix/htrsm.hpp"
+#include "la/getrf.hpp"
+#include "la/potrf.hpp"
+#include "la/trsm.hpp"
+#include "tile/tile_desc.hpp"
+
+namespace hcham::tile {
+
+/// GETRF on a diagonal tile (unpivoted; stores L\U in place).
+template <typename T>
+int kernel_getrf(Tile<T>& a, const rk::TruncationParams& tp) {
+  if (a.format == TileFormat::Full) return la::getrf_nopiv(a.full.view());
+  HCHAM_CHECK(a.h != nullptr);
+  return hmat::hlu(*a.h, tp);
+}
+
+/// A_kj <- L_kk^-1 A_kj (Left, Lower, Unit): the U-panel update.
+template <typename T>
+void kernel_trsm_lower(const Tile<T>& akk, Tile<T>& akj,
+                       const rk::TruncationParams& tp) {
+  HCHAM_CHECK(akk.format == akj.format);
+  if (akk.format == TileFormat::Full) {
+    la::trsm(la::Side::Left, la::Uplo::Lower, la::Op::NoTrans,
+             la::Diag::Unit, T{1}, akk.full.cview(), akj.full.view());
+  } else {
+    hmat::htrsm_lower_left(*akk.h, *akj.h, tp);
+  }
+}
+
+/// A_ik <- A_ik U_kk^-1 (Right, Upper, NonUnit): the L-panel update.
+template <typename T>
+void kernel_trsm_upper(const Tile<T>& akk, Tile<T>& aik,
+                       const rk::TruncationParams& tp) {
+  HCHAM_CHECK(akk.format == aik.format);
+  if (akk.format == TileFormat::Full) {
+    la::trsm(la::Side::Right, la::Uplo::Upper, la::Op::NoTrans,
+             la::Diag::NonUnit, T{1}, akk.full.cview(), aik.full.view());
+  } else {
+    hmat::htrsm_upper_right(*akk.h, *aik.h, tp);
+  }
+}
+
+/// C <- C + alpha * A * B (the trailing update uses alpha = -1).
+template <typename T>
+void kernel_gemm(T alpha, const Tile<T>& a, const Tile<T>& b, Tile<T>& c,
+                 const rk::TruncationParams& tp) {
+  HCHAM_CHECK(a.format == b.format && b.format == c.format);
+  if (a.format == TileFormat::Full) {
+    la::gemm(la::Op::NoTrans, la::Op::NoTrans, alpha, a.full.cview(),
+             b.full.cview(), T{1}, c.full.view());
+  } else {
+    hmat::hgemm(alpha, *a.h, *b.h, *c.h, tp);
+  }
+}
+
+/// y_seg <- y_seg + alpha * op(tile) * x_seg.
+template <typename T>
+void kernel_gemv(la::Op op, T alpha, const Tile<T>& a, const T* x, T* y) {
+  if (a.format == TileFormat::Full) {
+    la::gemv(op, alpha, a.full.cview(), x, T{1}, y);
+  } else {
+    hmat::gemv(op, alpha, *a.h, x, T{1}, y);
+  }
+}
+
+/// Segment solve with the factored diagonal tile: x <- L_kk^-1 x.
+template <typename T>
+void kernel_solve_lower(const Tile<T>& akk, la::MatrixView<T> x) {
+  if (akk.format == TileFormat::Full) {
+    la::trsm(la::Side::Left, la::Uplo::Lower, la::Op::NoTrans,
+             la::Diag::Unit, T{1}, akk.full.cview(), x);
+  } else {
+    hmat::solve_lower_left(*akk.h, x);
+  }
+}
+
+/// POTRF on a diagonal tile (lower Cholesky).
+template <typename T>
+int kernel_potrf(Tile<T>& a, const rk::TruncationParams& tp) {
+  if (a.format == TileFormat::Full) return la::potrf(a.full.view());
+  HCHAM_CHECK(a.h != nullptr);
+  return hmat::hchol(*a.h, tp);
+}
+
+/// A_ik <- A_ik L_kk^-H (Right, Lower, ConjTrans): the Cholesky panel.
+template <typename T>
+void kernel_trsm_lower_right_adjoint(const Tile<T>& akk, Tile<T>& aik,
+                                     const rk::TruncationParams& tp) {
+  HCHAM_CHECK(akk.format == aik.format);
+  if (akk.format == TileFormat::Full) {
+    la::trsm(la::Side::Right, la::Uplo::Lower, la::Op::ConjTrans,
+             la::Diag::NonUnit, T{1}, akk.full.cview(), aik.full.view());
+  } else {
+    hmat::htrsm_lower_right_adjoint(*akk.h, *aik.h, tp);
+  }
+}
+
+/// C <- C + alpha * A * B^H (the Hermitian trailing update; B == A for the
+/// diagonal HERK case).
+template <typename T>
+void kernel_gemm_adjoint_b(T alpha, const Tile<T>& a, const Tile<T>& b,
+                           Tile<T>& c, const rk::TruncationParams& tp) {
+  HCHAM_CHECK(a.format == b.format && b.format == c.format);
+  if (a.format == TileFormat::Full) {
+    la::gemm(la::Op::NoTrans, la::Op::ConjTrans, alpha, a.full.cview(),
+             b.full.cview(), T{1}, c.full.view());
+  } else {
+    hmat::HMatrix<T> bh = hmat::adjoint_of(*b.h);
+    hmat::hgemm(alpha, *a.h, bh, *c.h, tp);
+  }
+}
+
+/// Segment solve with the Cholesky diagonal tile: x <- L_kk^-1 x.
+template <typename T>
+void kernel_solve_lower_nonunit(const Tile<T>& akk, la::MatrixView<T> x) {
+  if (akk.format == TileFormat::Full) {
+    la::trsm(la::Side::Left, la::Uplo::Lower, la::Op::NoTrans,
+             la::Diag::NonUnit, T{1}, akk.full.cview(), x);
+  } else {
+    hmat::solve_lower_left(*akk.h, x, la::Diag::NonUnit);
+  }
+}
+
+/// Segment solve with the Cholesky diagonal tile: x <- L_kk^-H x.
+template <typename T>
+void kernel_solve_lower_adjoint(const Tile<T>& akk, la::MatrixView<T> x) {
+  if (akk.format == TileFormat::Full) {
+    la::trsm(la::Side::Left, la::Uplo::Lower, la::Op::ConjTrans,
+             la::Diag::NonUnit, T{1}, akk.full.cview(), x);
+  } else {
+    hmat::solve_lower_conjtrans_left(*akk.h, x, la::Diag::NonUnit);
+  }
+}
+
+/// Segment solve with the factored diagonal tile: x <- U_kk^-1 x.
+template <typename T>
+void kernel_solve_upper(const Tile<T>& akk, la::MatrixView<T> x) {
+  if (akk.format == TileFormat::Full) {
+    la::trsm(la::Side::Left, la::Uplo::Upper, la::Op::NoTrans,
+             la::Diag::NonUnit, T{1}, akk.full.cview(), x);
+  } else {
+    hmat::solve_upper_left(*akk.h, x);
+  }
+}
+
+}  // namespace hcham::tile

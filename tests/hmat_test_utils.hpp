@@ -1,0 +1,57 @@
+// Shared fixtures for H-matrix tests: BEM problems with cluster trees and
+// assembled H-matrices, plus permutation helpers.
+#pragma once
+
+#include <memory>
+
+#include "bem/testcase.hpp"
+#include "cluster/cluster_tree.hpp"
+#include "hmatrix/hmat.hpp"
+#include "test_utils.hpp"
+
+namespace hcham::testing {
+
+template <typename T>
+struct HmatFixture {
+  std::unique_ptr<bem::FemBemProblem<T>> problem;
+  std::shared_ptr<const cluster::ClusterTree> tree;
+
+  explicit HmatFixture(index_t n, index_t leaf_size = 32,
+                       double height = 8.0) {
+    problem = std::make_unique<bem::FemBemProblem<T>>(n, 1.0, height);
+    cluster::ClusteringOptions opts;
+    opts.leaf_size = leaf_size;
+    tree = std::make_shared<const cluster::ClusterTree>(
+        cluster::ClusterTree::build(problem->points(), opts));
+  }
+
+  auto generator() const {
+    const bem::FemBemProblem<T>* p = problem.get();
+    return [p](index_t i, index_t j) { return p->entry(i, j); };
+  }
+
+  hmat::HMatrix<T> build(const hmat::HMatrixOptions& opts) const {
+    return hmat::build_hmatrix<T>(tree, tree->root(), tree->root(),
+                                  generator(), opts);
+  }
+
+  /// Exact dense matrix in the PERMUTED ordering (matching to_dense()).
+  la::Matrix<T> dense_permuted() const {
+    const index_t n = problem->size();
+    la::Matrix<T> a(n, n);
+    for (index_t j = 0; j < n; ++j)
+      for (index_t i = 0; i < n; ++i)
+        a(i, j) = problem->entry(tree->perm(i), tree->perm(j));
+    return a;
+  }
+};
+
+inline hmat::HMatrixOptions hmat_options(double eps,
+                                         double eta = 2.0) {
+  hmat::HMatrixOptions opts;
+  opts.admissibility = cluster::AdmissibilityCondition::strong(eta);
+  opts.compression.eps = eps;
+  return opts;
+}
+
+}  // namespace hcham::testing

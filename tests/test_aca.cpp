@@ -1,0 +1,152 @@
+// ACA tests: exact low-rank recovery, BEM kernel compression accuracy,
+// partial vs full pivoting, rank caps, degenerate inputs.
+#include <gtest/gtest.h>
+
+#include "bem/testcase.hpp"
+#include "rk/aca.hpp"
+#include "rk/compression.hpp"
+#include "test_utils.hpp"
+
+namespace hcham {
+namespace {
+
+using la::Matrix;
+using rk::CompressionMethod;
+using rk::CompressionParams;
+using hcham::testing::rank_r_matrix;
+using hcham::testing::rel_diff;
+using hcham::testing::zdouble;
+
+template <typename T>
+auto dense_gen(const Matrix<T>& m) {
+  return [&m](index_t i, index_t j) { return m(i, j); };
+}
+
+TEST(AcaPartial, RecoversExactLowRank) {
+  auto exact = rank_r_matrix<double>(40, 30, 5, 1);
+  auto c = rk::aca_partial<double>(dense_gen(exact), 40, 30, 1e-12);
+  EXPECT_LE(c.rank(), 10);  // small overshoot allowed
+  EXPECT_LT(rel_diff<double>(c.dense().cview(), exact.cview()), 1e-10);
+}
+
+TEST(AcaFull, RecoversExactLowRank) {
+  auto exact = rank_r_matrix<zdouble>(25, 35, 4, 3);
+  auto c = rk::aca_full<zdouble>(dense_gen(exact), 25, 35, 1e-12);
+  EXPECT_LE(c.rank(), 8);
+  EXPECT_LT(rel_diff<zdouble>(c.dense().cview(), exact.cview()), 1e-10);
+}
+
+TEST(AcaPartial, RespectsRankCap) {
+  auto a = Matrix<double>::random(30, 30, 5);
+  auto c = rk::aca_partial<double>(dense_gen(a), 30, 30, 1e-15, 7);
+  EXPECT_LE(c.rank(), 7);
+}
+
+TEST(AcaPartial, ZeroMatrixGivesRankZero) {
+  Matrix<double> z(12, 9);
+  auto c = rk::aca_partial<double>(dense_gen(z), 12, 9, 1e-10);
+  EXPECT_EQ(c.rank(), 0);
+}
+
+TEST(AcaFull, ZeroMatrixGivesRankZero) {
+  Matrix<double> z(5, 5);
+  auto c = rk::aca_full<double>(dense_gen(z), 5, 5, 1e-10);
+  EXPECT_EQ(c.rank(), 0);
+}
+
+TEST(AcaPartial, RankOneMatrix) {
+  auto exact = rank_r_matrix<double>(15, 15, 1, 7);
+  auto c = rk::aca_partial<double>(dense_gen(exact), 15, 15, 1e-12);
+  // The consecutive-cross stopping rule overshoots the exact rank by a
+  // couple of crosses; recompression (compress()) trims that.
+  EXPECT_LE(c.rank(), 3);
+  EXPECT_LT(rel_diff<double>(c.dense().cview(), exact.cview()), 1e-12);
+}
+
+TEST(AcaPartial, SingleRowAndColumn) {
+  auto row = Matrix<double>::random(1, 20, 9);
+  auto c = rk::aca_partial<double>(dense_gen(row), 1, 20, 1e-12);
+  EXPECT_LT(rel_diff<double>(c.dense().cview(), row.cview()), 1e-13);
+  auto col = Matrix<double>::random(20, 1, 10);
+  auto c2 = rk::aca_partial<double>(dense_gen(col), 20, 1, 1e-12);
+  EXPECT_LT(rel_diff<double>(c2.dense().cview(), col.cview()), 1e-13);
+}
+
+/// Far-field interaction block of the BEM problem: the realistic use case.
+template <typename T>
+void check_bem_block(double eps) {
+  bem::FemBemProblem<T> prob(600, 1.0, 12.0);
+  // Points are generated ring-by-ring along z, so the first and last 150
+  // indices form two well-separated clusters.
+  auto gen = [&prob](index_t i, index_t j) {
+    return prob.entry(i, 450 + j);
+  };
+  Matrix<T> exact(150, 150);
+  for (index_t j = 0; j < 150; ++j)
+    for (index_t i = 0; i < 150; ++i) exact(i, j) = gen(i, j);
+
+  auto c = rk::aca_partial<T>(gen, 150, 150, eps);
+  EXPECT_LT(c.rank(), 60);
+  Matrix<T> diff = c.dense();
+  la::axpy(T{-1}, exact.cview(), diff.view());
+  EXPECT_LT(la::norm_fro(diff.cview()), 20 * eps * la::norm_fro(exact.cview()));
+}
+
+TEST(AcaPartial, BemFarFieldRealAt1em4) { check_bem_block<double>(1e-4); }
+TEST(AcaPartial, BemFarFieldRealAt1em8) { check_bem_block<double>(1e-8); }
+TEST(AcaPartial, BemFarFieldComplex) { check_bem_block<zdouble>(1e-4); }
+
+TEST(AcaPartial, TighterEpsGivesHigherRank) {
+  bem::FemBemProblem<double> prob(400, 1.0, 10.0);
+  auto gen = [&prob](index_t i, index_t j) { return prob.entry(i, 300 + j); };
+  auto loose = rk::aca_partial<double>(gen, 100, 100, 1e-2);
+  auto tight = rk::aca_partial<double>(gen, 100, 100, 1e-10);
+  EXPECT_LT(loose.rank(), tight.rank());
+}
+
+TEST(Compress, AllMethodsAgreeOnBemBlock) {
+  bem::FemBemProblem<double> prob(400, 1.0, 10.0);
+  auto gen = [&prob](index_t i, index_t j) { return prob.entry(i, 300 + j); };
+  Matrix<double> exact(100, 100);
+  for (index_t j = 0; j < 100; ++j)
+    for (index_t i = 0; i < 100; ++i) exact(i, j) = gen(i, j);
+
+  for (auto method : {CompressionMethod::AcaPartial, CompressionMethod::AcaFull,
+                      CompressionMethod::Svd}) {
+    CompressionParams params;
+    params.method = method;
+    params.eps = 1e-6;
+    auto c = rk::compress<double>(gen, 100, 100, params);
+    Matrix<double> diff = c.dense();
+    la::axpy(-1.0, exact.cview(), diff.view());
+    EXPECT_LT(la::norm_fro(diff.cview()),
+              1e-4 * la::norm_fro(exact.cview()))
+        << "method " << static_cast<int>(method);
+  }
+}
+
+TEST(Compress, SvdMethodWithRankCap) {
+  auto a = Matrix<double>::random(16, 16, 123);
+  CompressionParams params;
+  params.method = CompressionMethod::Svd;
+  params.eps = 0.0;
+  params.max_rank = 3;
+  auto c = rk::compress<double>(dense_gen(a), 16, 16, params);
+  EXPECT_EQ(c.rank(), 3);
+}
+
+TEST(Compress, RecompressionNeverIncreasesRank) {
+  bem::FemBemProblem<double> prob(400, 1.0, 10.0);
+  auto gen = [&prob](index_t i, index_t j) { return prob.entry(i, 300 + j); };
+  CompressionParams raw;
+  raw.eps = 1e-6;
+  raw.recompress = false;
+  CompressionParams rec = raw;
+  rec.recompress = true;
+  auto c_raw = rk::compress<double>(gen, 100, 100, raw);
+  auto c_rec = rk::compress<double>(gen, 100, 100, rec);
+  EXPECT_LE(c_rec.rank(), c_raw.rank());
+}
+
+}  // namespace
+}  // namespace hcham

@@ -1,0 +1,143 @@
+// Tests of the TEST_FEMBEM analogue: cylinder geometry, kernels, dense
+// assembly and spectral behaviour of the generated matrices.
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "bem/testcase.hpp"
+#include "la/la.hpp"
+#include "test_utils.hpp"
+
+namespace hcham {
+namespace {
+
+using bem::FemBemProblem;
+using bem::make_cylinder;
+using cluster::Point3;
+using hcham::testing::zdouble;
+
+TEST(Cylinder, GeneratesRequestedCount) {
+  for (index_t n : {1, 10, 100, 1000, 4321}) {
+    auto mesh = make_cylinder(n);
+    EXPECT_EQ(static_cast<index_t>(mesh.points.size()), n);
+  }
+}
+
+TEST(Cylinder, PointsLieOnSurface) {
+  auto mesh = make_cylinder(500, 2.0, 8.0);
+  for (const Point3& p : mesh.points) {
+    EXPECT_NEAR(std::hypot(p.x, p.y), 2.0, 1e-12);
+    EXPECT_GE(p.z, 0.0);
+    EXPECT_LE(p.z, 8.0);
+  }
+}
+
+TEST(Cylinder, MeshStepIsPositiveAndShrinksWithN) {
+  auto coarse = make_cylinder(100);
+  auto fine = make_cylinder(10000);
+  EXPECT_GT(coarse.mesh_step, 0.0);
+  EXPECT_LT(fine.mesh_step, coarse.mesh_step);
+}
+
+TEST(Cylinder, SpacingIsRoughlyUniform) {
+  auto mesh = make_cylinder(1000, 1.0, 4.0);
+  const double circ_step =
+      2.0 * std::numbers::pi / static_cast<double>(mesh.per_ring);
+  const double axial_step =
+      4.0 / static_cast<double>(mesh.rings - 1);
+  EXPECT_LT(std::abs(circ_step - axial_step) / circ_step, 0.6);
+}
+
+TEST(Kernels, WavenumberRuleOfThumb) {
+  // lambda = 10 * h, k = 2 pi / lambda.
+  const double k = bem::wavenumber_rule_of_thumb(0.1);
+  EXPECT_NEAR(k, 2.0 * std::numbers::pi, 1e-12);
+}
+
+TEST(Kernels, LaplaceSingularityRegularized) {
+  bem::LaplaceKernel kern{0.2};
+  EXPECT_DOUBLE_EQ(kern(0.0), 1.0 / 0.1);   // d -> h/2
+  EXPECT_DOUBLE_EQ(kern(0.05), 1.0 / 0.1);  // below h/2 clamps too
+  EXPECT_DOUBLE_EQ(kern(2.0), 0.5);
+}
+
+TEST(Kernels, HelmholtzModulusIsInverseDistance) {
+  bem::HelmholtzKernel kern{0.2, 3.0};
+  EXPECT_NEAR(std::abs(kern(2.0)), 0.5, 1e-14);
+  // Phase advances with distance.
+  EXPECT_NE(std::arg(kern(1.0)), std::arg(kern(2.0)));
+}
+
+TEST(FemBem, DenseMatrixIsSymmetricReal) {
+  FemBemProblem<double> prob(128);
+  auto a = prob.dense();
+  for (index_t j = 0; j < 128; ++j)
+    for (index_t i = 0; i < j; ++i) EXPECT_DOUBLE_EQ(a(i, j), a(j, i));
+}
+
+TEST(FemBem, DiagonalIsKernelAtHalfStep) {
+  FemBemProblem<double> prob(64);
+  auto a = prob.dense();
+  const double expected = 1.0 / (0.5 * prob.mesh_step());
+  for (index_t i = 0; i < 64; ++i) EXPECT_DOUBLE_EQ(a(i, i), expected);
+}
+
+TEST(FemBem, ComplexMatrixIsSymmetricNotHermitian) {
+  FemBemProblem<zdouble> prob(96);
+  auto a = prob.dense();
+  EXPECT_DOUBLE_EQ(a(3, 7).real(), a(7, 3).real());
+  EXPECT_DOUBLE_EQ(a(3, 7).imag(), a(7, 3).imag());
+  // Off-diagonal entries are genuinely complex.
+  bool has_imag = false;
+  for (index_t i = 1; i < 96; ++i)
+    if (std::abs(a(i, 0).imag()) > 1e-12) has_imag = true;
+  EXPECT_TRUE(has_imag);
+}
+
+TEST(FemBem, DenseSystemIsSolvable) {
+  // The regularized kernel matrix must be nonsingular and well enough
+  // conditioned for a direct solve - this underpins every experiment.
+  FemBemProblem<double> prob(200);
+  auto a = prob.dense();
+  auto x_true = la::Matrix<double>::random(200, 1, 99);
+  la::Matrix<double> b(200, 1);
+  la::gemm(la::Op::NoTrans, la::Op::NoTrans, 1.0, a.cview(), x_true.cview(),
+           0.0, b.view());
+  ASSERT_EQ(la::gesv(a.view(), b.view()), 0);
+  EXPECT_LT(hcham::testing::rel_diff<double>(b.cview(), x_true.cview()), 1e-8);
+}
+
+TEST(FemBem, UnpivotedLuSucceedsOnBemMatrix) {
+  // H-LU never pivots; verify the generated matrices tolerate that.
+  FemBemProblem<double> prob(300);
+  auto a = prob.dense();
+  EXPECT_EQ(la::getrf_nopiv(a.view()), 0);
+}
+
+TEST(FemBem, ComplexSystemIsSolvable) {
+  FemBemProblem<zdouble> prob(150);
+  auto a = prob.dense();
+  auto x_true = la::Matrix<zdouble>::random(150, 1, 7);
+  la::Matrix<zdouble> b(150, 1);
+  la::gemm(la::Op::NoTrans, la::Op::NoTrans, zdouble(1), a.cview(),
+           x_true.cview(), zdouble(0), b.view());
+  ASSERT_EQ(la::gesv(a.view(), b.view()), 0);
+  EXPECT_LT(hcham::testing::rel_diff<zdouble>(b.cview(), x_true.cview()),
+            1e-8);
+}
+
+TEST(FemBem, FarFieldBlocksAreNumericallyLowRank) {
+  // The property H-matrices exploit: interaction between two well
+  // separated clusters has rapidly decaying singular values.
+  FemBemProblem<double> prob(400, 1.0, 12.0);
+  // Points are ordered ring by ring along z: take the first and last 100.
+  la::Matrix<double> block(100, 100);
+  for (index_t j = 0; j < 100; ++j)
+    for (index_t i = 0; i < 100; ++i)
+      block(i, j) = prob.entry(i, 300 + j);
+  auto svd = la::svd<double>(block.cview());
+  EXPECT_LT(la::numerical_rank(svd.sigma, 1e-8), 25);
+}
+
+}  // namespace
+}  // namespace hcham

@@ -1,0 +1,261 @@
+// Cluster-tree tests: partitioning invariants, bisection strategies, the
+// NTilesRecursive tile clustering (paper Algorithm 2), bounding boxes and
+// admissibility.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "bem/cylinder.hpp"
+#include "cluster/admissibility.hpp"
+#include "cluster/cluster_tree.hpp"
+#include "common/rng.hpp"
+
+namespace hcham {
+namespace {
+
+using cluster::AdmissibilityCondition;
+using cluster::BBox;
+using cluster::Bisection;
+using cluster::ClusteringOptions;
+using cluster::ClusterTree;
+using cluster::Point3;
+
+std::vector<Point3> random_cloud(index_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point3> pts;
+  pts.reserve(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i)
+    pts.push_back(Point3{rng.uniform(-1, 1), rng.uniform(-1, 1),
+                         rng.uniform(-1, 1)});
+  return pts;
+}
+
+/// Every node's range must equal the union of its children's ranges, and
+/// the permutation must be a bijection.
+void check_tree_invariants(const ClusterTree& t, index_t leaf_size) {
+  const index_t n = t.num_points();
+  // Permutation is a bijection onto {0..n-1}.
+  std::set<index_t> seen;
+  for (index_t i = 0; i < n; ++i) {
+    EXPECT_GE(t.perm(i), 0);
+    EXPECT_LT(t.perm(i), n);
+    seen.insert(t.perm(i));
+  }
+  EXPECT_EQ(static_cast<index_t>(seen.size()), n);
+
+  for (index_t i = 0; i < t.num_nodes(); ++i) {
+    const auto& nd = t.node(i);
+    EXPECT_GT(nd.size, 0);
+    if (nd.is_leaf()) {
+      EXPECT_LE(nd.size, leaf_size);
+      continue;
+    }
+    ASSERT_GE(nd.child[0], 0);
+    ASSERT_GE(nd.child[1], 0);
+    const auto& l = t.node(nd.child[0]);
+    const auto& r = t.node(nd.child[1]);
+    EXPECT_EQ(l.offset, nd.offset);
+    EXPECT_EQ(l.offset + l.size, r.offset);
+    EXPECT_EQ(r.offset + r.size, nd.offset + nd.size);
+    EXPECT_EQ(l.parent, i);
+    EXPECT_EQ(r.parent, i);
+  }
+}
+
+TEST(ClusterTree, MedianBisectionInvariants) {
+  for (index_t n : {1, 2, 63, 64, 65, 500, 1000}) {
+    auto t = ClusterTree::build(random_cloud(n, 7), ClusteringOptions{});
+    EXPECT_EQ(t.num_points(), n);
+    check_tree_invariants(t, 64);
+  }
+}
+
+TEST(ClusterTree, GeometricBisectionInvariants) {
+  ClusteringOptions opts;
+  opts.strategy = Bisection::Geometric;
+  opts.leaf_size = 32;
+  auto t = ClusterTree::build(random_cloud(777, 13), opts);
+  check_tree_invariants(t, 32);
+}
+
+TEST(ClusterTree, GeometricFallsBackOnDegenerateCloud) {
+  // All points identical: the geometric split cannot separate them, the
+  // median fallback must still terminate.
+  std::vector<Point3> pts(100, Point3{1.0, 2.0, 3.0});
+  ClusteringOptions opts;
+  opts.strategy = Bisection::Geometric;
+  opts.leaf_size = 16;
+  auto t = ClusterTree::build(pts, opts);
+  check_tree_invariants(t, 16);
+}
+
+TEST(ClusterTree, MedianSplitsAreBalanced) {
+  auto t = ClusterTree::build(random_cloud(1024, 3), ClusteringOptions{});
+  const auto& root = t.node(t.root());
+  ASSERT_FALSE(root.is_leaf());
+  EXPECT_EQ(t.node(root.child[0]).size, 512);
+  EXPECT_EQ(t.node(root.child[1]).size, 512);
+}
+
+TEST(ClusterTree, DepthIsLogarithmic) {
+  auto t = ClusterTree::build(random_cloud(4096, 21),
+                              ClusteringOptions{.leaf_size = 32});
+  // 4096 / 32 = 128 leaves -> depth ~ 8; allow slack for uneven splits.
+  EXPECT_GE(t.depth(), 7);
+  EXPECT_LE(t.depth(), 10);
+}
+
+TEST(ClusterTree, LeavesPartitionRoot) {
+  auto t = ClusterTree::build(random_cloud(300, 9),
+                              ClusteringOptions{.leaf_size = 20});
+  auto leaves = t.leaves_under(t.root());
+  index_t total = 0;
+  index_t expect_offset = 0;
+  for (index_t li : leaves) {
+    EXPECT_EQ(t.node(li).offset, expect_offset);
+    expect_offset += t.node(li).size;
+    total += t.node(li).size;
+  }
+  EXPECT_EQ(total, 300);
+  EXPECT_EQ(static_cast<index_t>(leaves.size()), t.num_leaves());
+}
+
+TEST(ClusterTree, SingletonCloud) {
+  auto t = ClusterTree::build(random_cloud(1, 5), ClusteringOptions{});
+  EXPECT_EQ(t.num_nodes(), 1);
+  EXPECT_TRUE(t.node(0).is_leaf());
+  EXPECT_EQ(t.depth(), 1);
+}
+
+TEST(NTiles, TilesHaveRegularSize) {
+  // 1000 points, NB = 128 -> 8 tiles: 7 of 128 + 1 of 104.
+  auto tc = cluster::build_ntiles_clustering(random_cloud(1000, 31), 128,
+                                             ClusteringOptions{.leaf_size = 32});
+  ASSERT_EQ(tc.num_tiles(), 8);
+  index_t total = 0;
+  for (index_t i = 0; i < tc.num_tiles(); ++i) {
+    const auto& nd = tc.tree.node(tc.tile_roots[static_cast<std::size_t>(i)]);
+    total += nd.size;
+    EXPECT_LE(nd.size, 128);
+  }
+  EXPECT_EQ(total, 1000);
+  // Tiles are contiguous and ordered.
+  index_t off = 0;
+  for (index_t r : tc.tile_roots) {
+    EXPECT_EQ(tc.tree.node(r).offset, off);
+    off += tc.tree.node(r).size;
+  }
+  check_tree_invariants(tc.tree, 32);
+}
+
+TEST(NTiles, AllFullTilesWhenDivisible) {
+  auto tc = cluster::build_ntiles_clustering(random_cloud(512, 41), 64,
+                                             ClusteringOptions{.leaf_size = 16});
+  ASSERT_EQ(tc.num_tiles(), 8);
+  for (index_t r : tc.tile_roots) EXPECT_EQ(tc.tree.node(r).size, 64);
+}
+
+TEST(NTiles, SingleTileWhenNbExceedsN) {
+  auto tc = cluster::build_ntiles_clustering(random_cloud(50, 2), 128,
+                                             ClusteringOptions{.leaf_size = 16});
+  ASSERT_EQ(tc.num_tiles(), 1);
+  EXPECT_EQ(tc.tree.node(tc.tile_roots[0]).size, 50);
+}
+
+TEST(NTiles, TileInteriorsAreRefined) {
+  auto tc = cluster::build_ntiles_clustering(random_cloud(512, 43), 256,
+                                             ClusteringOptions{.leaf_size = 32});
+  for (index_t r : tc.tile_roots) {
+    EXPECT_FALSE(tc.tree.node(r).is_leaf());  // 256 > 32 forces refinement
+  }
+}
+
+TEST(NTiles, CylinderGeometrySplitsAlongAxis) {
+  // A long thin cylinder: the first ntiles split must be along z.
+  auto mesh = bem::make_cylinder(1024, 0.5, 40.0);
+  auto tc = cluster::build_ntiles_clustering(mesh.points, 256,
+                                             ClusteringOptions{.leaf_size = 32});
+  const auto& root = tc.tree.node(tc.tree.root());
+  ASSERT_FALSE(root.is_leaf());
+  const auto& l = tc.tree.node(root.child[0]);
+  const auto& r = tc.tree.node(root.child[1]);
+  // The two halves must be separated in z (the largest dimension).
+  EXPECT_LT(l.box.hi(2), r.box.lo(2) + 1.0);
+}
+
+TEST(BBoxTest, DiameterAndDistance) {
+  BBox a, b;
+  a.extend(Point3{0, 0, 0});
+  a.extend(Point3{1, 1, 1});
+  b.extend(Point3{3, 0, 0});
+  b.extend(Point3{4, 1, 1});
+  EXPECT_DOUBLE_EQ(a.diameter(), std::sqrt(3.0));
+  EXPECT_DOUBLE_EQ(BBox::distance(a, b), 2.0);
+  EXPECT_DOUBLE_EQ(BBox::distance(a, a), 0.0);
+}
+
+TEST(BBoxTest, EmptyBoxIsInvalid) {
+  BBox box;
+  EXPECT_FALSE(box.valid());
+  EXPECT_EQ(box.diameter(), 0.0);
+}
+
+TEST(BBoxTest, LargestDimension) {
+  BBox box;
+  box.extend(Point3{0, 0, 0});
+  box.extend(Point3{1, 5, 2});
+  EXPECT_EQ(box.largest_dimension(), 1);
+}
+
+TEST(Admissibility, StrongConditionSeparatesFarBlocks) {
+  BBox near_a, near_b, far;
+  near_a.extend(Point3{0, 0, 0});
+  near_a.extend(Point3{1, 1, 1});
+  near_b.extend(Point3{1.1, 0, 0});
+  near_b.extend(Point3{2.1, 1, 1});
+  far.extend(Point3{10, 0, 0});
+  far.extend(Point3{11, 1, 1});
+  auto cond = AdmissibilityCondition::strong(2.0);
+  EXPECT_FALSE(cond.admissible(near_a, near_b));
+  EXPECT_TRUE(cond.admissible(near_a, far));
+}
+
+TEST(Admissibility, WeakAdmitsAnyOffDiagonalPair) {
+  BBox a, b;
+  a.extend(Point3{0, 0, 0});
+  a.extend(Point3{1, 1, 1});
+  b.extend(Point3{0.5, 0, 0});  // overlapping boxes: still admissible
+  b.extend(Point3{2, 1, 1});
+  EXPECT_TRUE(AdmissibilityCondition::weak().admissible(a, b));
+  // Diagonal blocks (same cluster) are never admissible.
+  EXPECT_FALSE(
+      AdmissibilityCondition::weak().admissible(a, a, /*same_cluster=*/true));
+}
+
+TEST(Admissibility, NoneNeverAdmits) {
+  BBox a, far;
+  a.extend(Point3{0, 0, 0});
+  far.extend(Point3{100, 100, 100});
+  EXPECT_FALSE(AdmissibilityCondition::none().admissible(a, far));
+}
+
+TEST(Admissibility, MinVsMaxDiameterVariant) {
+  // One tiny and one large box at moderate distance: the min-diameter
+  // variant admits earlier than the max-diameter one.
+  BBox small, large;
+  small.extend(Point3{0, 0, 0});
+  small.extend(Point3{0.1, 0.1, 0.1});
+  large.extend(Point3{2, 0, 0});
+  large.extend(Point3{6, 4, 4});
+  AdmissibilityCondition min_cond{AdmissibilityCondition::Kind::Strong, 1.0,
+                                  true};
+  AdmissibilityCondition max_cond{AdmissibilityCondition::Kind::Strong, 1.0,
+                                  false};
+  EXPECT_TRUE(min_cond.admissible(small, large));
+  EXPECT_FALSE(max_cond.admissible(small, large));
+}
+
+}  // namespace
+}  // namespace hcham

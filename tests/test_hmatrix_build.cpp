@@ -1,0 +1,215 @@
+// H-matrix assembly tests: block-tree structure, approximation accuracy,
+// compression, norms, stats, and the structure renderer.
+#include <gtest/gtest.h>
+
+#include "hmat_test_utils.hpp"
+
+namespace hcham {
+namespace {
+
+using hmat::HMatrix;
+using hcham::testing::HmatFixture;
+using hcham::testing::hmat_options;
+using hcham::testing::rel_diff;
+using hcham::testing::zdouble;
+
+/// Walk the block tree and verify structural invariants.
+template <typename T>
+void check_block_tree(const HMatrix<T>& h) {
+  EXPECT_GT(h.rows(), 0);
+  EXPECT_GT(h.cols(), 0);
+  switch (h.kind()) {
+    case HMatrix<T>::Kind::Full:
+      EXPECT_EQ(h.full().rows(), h.rows());
+      EXPECT_EQ(h.full().cols(), h.cols());
+      break;
+    case HMatrix<T>::Kind::Rk:
+      EXPECT_EQ(h.rk().rows(), h.rows());
+      EXPECT_EQ(h.rk().cols(), h.cols());
+      EXPECT_LE(h.rk().rank(), std::min(h.rows(), h.cols()));
+      break;
+    case HMatrix<T>::Kind::Hierarchical: {
+      index_t rows = 0, cols = 0;
+      for (int i = 0; i < 2; ++i) rows += h.child(i, 0).rows();
+      for (int j = 0; j < 2; ++j) cols += h.child(0, j).cols();
+      EXPECT_EQ(rows, h.rows());
+      EXPECT_EQ(cols, h.cols());
+      for (int i = 0; i < 2; ++i)
+        for (int j = 0; j < 2; ++j) check_block_tree(h.child(i, j));
+      break;
+    }
+  }
+}
+
+TEST(HmatBuild, StructureInvariants) {
+  HmatFixture<double> fx(500);
+  auto h = fx.build(hmat_options(1e-6));
+  check_block_tree(h);
+  auto stats = h.stats();
+  EXPECT_GT(stats.rk_leaves, 0);
+  EXPECT_GT(stats.full_leaves, 0);
+}
+
+TEST(HmatBuild, DiagonalBlocksAreNeverLowRank) {
+  HmatFixture<double> fx(400);
+  auto h = fx.build(hmat_options(1e-6));
+  // Walk the diagonal: every diagonal node must be Full or Hierarchical.
+  const HMatrix<double>* node = &h;
+  while (node->is_hierarchical()) {
+    EXPECT_FALSE(node->child(0, 0).is_rk());
+    EXPECT_FALSE(node->child(1, 1).is_rk());
+    node = &node->child(0, 0);
+  }
+  EXPECT_TRUE(node->is_full());
+}
+
+template <typename T>
+void check_approximation(index_t n, double eps, double factor) {
+  HmatFixture<T> fx(n);
+  auto h = fx.build(hmat_options(eps));
+  auto exact = fx.dense_permuted();
+  EXPECT_LT(rel_diff<T>(h.to_dense().cview(), exact.cview()), factor * eps)
+      << "n=" << n << " eps=" << eps;
+}
+
+TEST(HmatBuild, ApproximatesDenseReal) {
+  check_approximation<double>(300, 1e-4, 50);
+  check_approximation<double>(300, 1e-8, 500);
+}
+
+TEST(HmatBuild, ApproximatesDenseComplex) {
+  check_approximation<zdouble>(300, 1e-4, 50);
+}
+
+class HmatBuildEps : public ::testing::TestWithParam<double> {};
+
+TEST_P(HmatBuildEps, AccuracyScalesWithEps) {
+  const double eps = GetParam();
+  HmatFixture<double> fx(400);
+  auto h = fx.build(hmat_options(eps));
+  auto exact = fx.dense_permuted();
+  const double err = rel_diff<double>(h.to_dense().cview(), exact.cview());
+  EXPECT_LT(err, 100 * eps);
+}
+
+INSTANTIATE_TEST_SUITE_P(EpsSweep, HmatBuildEps,
+                         ::testing::Values(1e-2, 1e-4, 1e-6, 1e-10));
+
+TEST(HmatBuild, CompressionImprovesWithN) {
+  // The whole point of H-matrices: the compression ratio decreases as the
+  // problem grows (log-linear storage).
+  HmatFixture<double> small(256);
+  HmatFixture<double> large(2048);
+  auto hs = small.build(hmat_options(1e-4));
+  auto hl = large.build(hmat_options(1e-4));
+  EXPECT_LT(hl.compression_ratio(), hs.compression_ratio());
+  EXPECT_LT(hl.compression_ratio(), 0.6);
+}
+
+TEST(HmatBuild, StoredElementsConsistentWithStats) {
+  HmatFixture<double> fx(600);
+  auto h = fx.build(hmat_options(1e-4));
+  EXPECT_EQ(h.stored_elements(), [&] {
+    // Recompute independently: sum over leaves.
+    index_t total = 0;
+    std::vector<const hmat::HMatrix<double>*> stack{&h};
+    while (!stack.empty()) {
+      const auto* node = stack.back();
+      stack.pop_back();
+      if (node->is_hierarchical()) {
+        for (int i = 0; i < 2; ++i)
+          for (int j = 0; j < 2; ++j) stack.push_back(&node->child(i, j));
+      } else if (node->is_full()) {
+        total += node->rows() * node->cols();
+      } else {
+        total += (node->rows() + node->cols()) * node->rk().rank();
+      }
+    }
+    return total;
+  }());
+}
+
+TEST(HmatBuild, NormFroMatchesDense) {
+  HmatFixture<double> fx(350);
+  auto h = fx.build(hmat_options(1e-8));
+  const double exact = la::norm_fro(fx.dense_permuted().cview());
+  EXPECT_NEAR(h.norm_fro(), exact, 1e-5 * exact);
+}
+
+TEST(HmatBuild, NormFroMatchesDenseComplex) {
+  HmatFixture<zdouble> fx(250);
+  auto h = fx.build(hmat_options(1e-8));
+  const double exact = la::norm_fro(fx.dense_permuted().cview());
+  EXPECT_NEAR(h.norm_fro(), exact, 1e-5 * exact);
+}
+
+TEST(HmatBuild, WeakAdmissibilityGivesMoreRkLeaves) {
+  HmatFixture<double> fx(500);
+  auto strong = fx.build(hmat_options(1e-4, 2.0));
+  hmat::HMatrixOptions weak_opts;
+  weak_opts.admissibility = cluster::AdmissibilityCondition::weak();
+  weak_opts.compression.eps = 1e-4;
+  auto weak = hmat::build_hmatrix<double>(fx.tree, fx.tree->root(),
+                                          fx.tree->root(), fx.generator(),
+                                          weak_opts);
+  EXPECT_GT(weak.stats().rk_leaves, strong.stats().rk_leaves);
+}
+
+TEST(HmatBuild, NoAdmissibilityIsExact) {
+  HmatFixture<double> fx(200);
+  hmat::HMatrixOptions opts;
+  opts.admissibility = cluster::AdmissibilityCondition::none();
+  auto h = hmat::build_hmatrix<double>(fx.tree, fx.tree->root(),
+                                       fx.tree->root(), fx.generator(), opts);
+  EXPECT_EQ(h.stats().rk_leaves, 0);
+  EXPECT_LT(rel_diff<double>(h.to_dense().cview(),
+                             fx.dense_permuted().cview()),
+            1e-15);
+}
+
+TEST(HmatBuild, RectangularOffDiagonalBlock) {
+  // Build an H-matrix over two different clusters (off-diagonal block of
+  // the root), as the Tile-H construction does for every tile.
+  HmatFixture<double> fx(600);
+  const auto& root = fx.tree->node(fx.tree->root());
+  ASSERT_FALSE(root.is_leaf());
+  auto h = hmat::build_hmatrix<double>(fx.tree, root.child[0], root.child[1],
+                                       fx.generator(), hmat_options(1e-6));
+  check_block_tree(h);
+  // Compare against the exact permuted sub-block.
+  auto full = fx.dense_permuted();
+  const auto& rc = fx.tree->node(root.child[0]);
+  const auto& cc = fx.tree->node(root.child[1]);
+  EXPECT_LT(rel_diff<double>(
+                h.to_dense().cview(),
+                full.block(rc.offset, cc.offset, rc.size, cc.size)),
+            1e-4);
+}
+
+TEST(HmatBuild, StructureAsciiRendersAllCells) {
+  HmatFixture<double> fx(300);
+  auto h = fx.build(hmat_options(1e-4));
+  const std::string art = hmat::structure_ascii(h, 32);
+  // 32 lines of 32 chars + newlines, no blanks left.
+  EXPECT_EQ(art.size(), 32u * 33u);
+  EXPECT_EQ(art.find(' '), std::string::npos);
+  EXPECT_NE(art.find('#'), std::string::npos);  // dense diagonal
+}
+
+TEST(HmatBuild, SummaryMentionsCompression) {
+  HmatFixture<double> fx(200);
+  auto h = fx.build(hmat_options(1e-4));
+  EXPECT_NE(hmat::structure_summary(h).find("compression="),
+            std::string::npos);
+}
+
+TEST(HmatBuild, BuildStructureCreatesZeroMatrix) {
+  HmatFixture<double> fx(300);
+  hmat::HMatrix<double> z(fx.tree, fx.tree->root(), fx.tree->root());
+  hmat::build_structure(z, cluster::AdmissibilityCondition::strong(2.0));
+  EXPECT_EQ(z.norm_fro(), 0.0);
+  check_block_tree(z);
+}
+
+}  // namespace
+}  // namespace hcham

@@ -1,0 +1,160 @@
+// End-to-end H-LU tests: factorization accuracy, solves, forward error
+// against known solutions, the paper's accuracy regime (eps = 1e-4), and
+// H-TRSM consistency within the factorization.
+#include <gtest/gtest.h>
+
+#include "hmat_test_utils.hpp"
+
+namespace hcham {
+namespace {
+
+using hmat::HMatrix;
+using la::Matrix;
+using la::Op;
+using rk::TruncationParams;
+using hcham::testing::HmatFixture;
+using hcham::testing::hmat_options;
+using hcham::testing::rel_diff;
+using hcham::testing::zdouble;
+
+/// Forward error of the H-LU solve for a known solution x0:
+/// ||x - x0|| / ||x0|| (the paper's Fig. 5 metric).
+template <typename T>
+double forward_error(HmatFixture<T>& fx, double eps) {
+  const index_t n = fx.problem->size();
+  auto h = fx.build(hcham::testing::hmat_options(eps));
+  auto dense = fx.dense_permuted();
+
+  auto x0 = Matrix<T>::random(n, 1, 77);
+  Matrix<T> b(n, 1);
+  la::gemm(Op::NoTrans, Op::NoTrans, T{1}, dense.cview(), x0.cview(), T{},
+           b.view());
+
+  if (hmat::hlu(h, TruncationParams{eps, -1}) != 0) return 1e30;
+  hmat::hlu_solve(h, b.view());
+  Matrix<T> diff = Matrix<T>::from_view(b.cview());
+  la::axpy(T{-1}, x0.cview(), diff.view());
+  return la::norm_fro(diff.cview()) / la::norm_fro(x0.cview());
+}
+
+TEST(Hlu, FactorizationReconstructsMatrix) {
+  HmatFixture<double> fx(400);
+  auto h = fx.build(hmat_options(1e-8));
+  auto exact = h.to_dense();  // compare against the compressed matrix
+  ASSERT_EQ(hmat::hlu(h, TruncationParams{1e-8, -1}), 0);
+
+  // Rebuild L * U densely and compare.
+  const index_t n = 400;
+  auto lu = h.to_dense();
+  Matrix<double> l(n, n), u(n, n);
+  for (index_t j = 0; j < n; ++j) {
+    l(j, j) = 1.0;
+    for (index_t i = j + 1; i < n; ++i) l(i, j) = lu(i, j);
+    for (index_t i = 0; i <= j; ++i) u(i, j) = lu(i, j);
+  }
+  Matrix<double> prod(n, n);
+  la::gemm(Op::NoTrans, Op::NoTrans, 1.0, l.cview(), u.cview(), 0.0,
+           prod.view());
+  EXPECT_LT(rel_diff<double>(prod.cview(), exact.cview()), 1e-5);
+}
+
+TEST(Hlu, ForwardErrorRealAtPaperAccuracy) {
+  HmatFixture<double> fx(500);
+  // Paper Fig. 5: accuracy parameter 1e-4 gives forward errors of the same
+  // magnitude order.
+  EXPECT_LT(forward_error(fx, 1e-4), 1e-2);
+}
+
+TEST(Hlu, ForwardErrorRealTight) {
+  HmatFixture<double> fx(500);
+  EXPECT_LT(forward_error(fx, 1e-10), 1e-6);
+}
+
+TEST(Hlu, ForwardErrorComplex) {
+  HmatFixture<zdouble> fx(400);
+  EXPECT_LT(forward_error(fx, 1e-6), 1e-3);
+}
+
+class HluEps : public ::testing::TestWithParam<double> {};
+
+TEST_P(HluEps, ForwardErrorTracksEps) {
+  HmatFixture<double> fx(400);
+  const double eps = GetParam();
+  const double err = forward_error(fx, eps);
+  EXPECT_LT(err, 1e3 * eps);  // generous constant; cond(A) is moderate
+}
+
+INSTANTIATE_TEST_SUITE_P(EpsSweep, HluEps,
+                         ::testing::Values(1e-4, 1e-6, 1e-8, 1e-10));
+
+TEST(Hlu, MultipleRhsSolve) {
+  HmatFixture<double> fx(300);
+  auto h = fx.build(hmat_options(1e-8));
+  auto dense = fx.dense_permuted();
+  auto x0 = Matrix<double>::random(300, 4, 91);
+  Matrix<double> b(300, 4);
+  la::gemm(Op::NoTrans, Op::NoTrans, 1.0, dense.cview(), x0.cview(), 0.0,
+           b.view());
+  ASSERT_EQ(hmat::hlu(h, TruncationParams{1e-8, -1}), 0);
+  hmat::hlu_solve(h, b.view());
+  EXPECT_LT(rel_diff<double>(b.cview(), x0.cview()), 1e-5);
+}
+
+TEST(Hlu, AdjointSolve) {
+  HmatFixture<double> fx(300);
+  auto h = fx.build(hmat_options(1e-8));
+  auto dense = fx.dense_permuted();
+  auto x0 = Matrix<double>::random(300, 1, 95);
+  Matrix<double> b(300, 1);
+  la::gemm(Op::ConjTrans, Op::NoTrans, 1.0, dense.cview(), x0.cview(), 0.0,
+           b.view());
+  ASSERT_EQ(hmat::hlu(h, TruncationParams{1e-8, -1}), 0);
+  hmat::hlu_solve_adjoint(h, b.view());
+  EXPECT_LT(rel_diff<double>(b.cview(), x0.cview()), 1e-5);
+}
+
+TEST(Hlu, WorksOnPurelyDenseStructure) {
+  // With no admissible blocks the H-LU degenerates to a recursive dense LU.
+  HmatFixture<double> fx(150);
+  hmat::HMatrixOptions opts;
+  opts.admissibility = cluster::AdmissibilityCondition::none();
+  auto h = hmat::build_hmatrix<double>(fx.tree, fx.tree->root(),
+                                       fx.tree->root(), fx.generator(), opts);
+  auto dense = fx.dense_permuted();
+  auto x0 = Matrix<double>::random(150, 1, 99);
+  Matrix<double> b(150, 1);
+  la::gemm(Op::NoTrans, Op::NoTrans, 1.0, dense.cview(), x0.cview(), 0.0,
+           b.view());
+  ASSERT_EQ(hmat::hlu(h, TruncationParams{1e-12, -1}), 0);
+  hmat::hlu_solve(h, b.view());
+  EXPECT_LT(rel_diff<double>(b.cview(), x0.cview()), 1e-8);
+}
+
+TEST(Hlu, ReportsZeroPivot) {
+  // A singular matrix: the all-ones kernel gives a rank-1 dense matrix.
+  auto mesh = bem::make_cylinder(64);
+  cluster::ClusteringOptions copts;
+  copts.leaf_size = 16;
+  auto tree = std::make_shared<const cluster::ClusterTree>(
+      cluster::ClusterTree::build(mesh.points, copts));
+  hmat::HMatrixOptions opts;
+  opts.admissibility = cluster::AdmissibilityCondition::none();
+  auto ones = [](index_t, index_t) { return 1.0; };
+  auto h = hmat::build_hmatrix<double>(tree, tree->root(), tree->root(), ones,
+                                       opts);
+  EXPECT_GT(hmat::hlu(h, TruncationParams{1e-12, -1}), 0);
+}
+
+TEST(Hlu, CompressionRetainedAfterFactorization) {
+  HmatFixture<double> fx(1000);
+  auto h = fx.build(hmat_options(1e-4));
+  const double before = h.compression_ratio();
+  ASSERT_EQ(hmat::hlu(h, TruncationParams{1e-4, -1}), 0);
+  const double after = h.compression_ratio();
+  // Fill-in is bounded: the factored matrix stays compressed.
+  EXPECT_LT(after, 3 * before);
+  EXPECT_LT(after, 1.0);
+}
+
+}  // namespace
+}  // namespace hcham

@@ -1,0 +1,259 @@
+// Cross-module integration and property tests: randomized sweeps over
+// geometry, accuracy, tile size, and scheduler configurations, verifying
+// end-to-end invariants that tie all substrates together.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "bem/testcase.hpp"
+#include "core/hchameleon.hpp"
+#include "hmat_test_utils.hpp"
+
+namespace hcham {
+namespace {
+
+using bem::FemBemProblem;
+using core::TileHMatrix;
+using core::TileHOptions;
+using rt::Engine;
+using hcham::testing::zdouble;
+
+template <typename T>
+double vec_rel_err(const std::vector<T>& a, const std::vector<T>& b) {
+  double diff = 0, ref = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    diff += abs_sq(a[i] - b[i]);
+    ref += abs_sq(b[i]);
+  }
+  return std::sqrt(diff / std::max(ref, 1e-300));
+}
+
+/// Property: (A compressed at eps) applied to a vector differs from the
+/// exact kernel application by O(eps), for any geometry and tile size.
+class TileHAccuracy
+    : public ::testing::TestWithParam<std::tuple<double, index_t, double>> {};
+
+TEST_P(TileHAccuracy, MatvecErrorTracksEps) {
+  auto [eps, nb, height] = GetParam();
+  const index_t n = 600;
+  FemBemProblem<double> problem(n, 1.0, height);
+  auto gen = [&problem](index_t i, index_t j) { return problem.entry(i, j); };
+  Engine engine;
+  TileHOptions opts;
+  opts.tile_size = nb;
+  opts.hmatrix.compression.eps = eps;
+  auto a = TileHMatrix<double>::build(engine, problem.points(), gen, opts);
+
+  Rng rng(7);
+  std::vector<double> x(static_cast<std::size_t>(n));
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  std::vector<double> y_h(static_cast<std::size_t>(n), 0.0);
+  std::vector<double> y_exact(static_cast<std::size_t>(n), 0.0);
+  a.matvec(1.0, x.data(), 0.0, y_h.data());
+  for (index_t i = 0; i < n; ++i) {
+    double acc = 0;
+    for (index_t j = 0; j < n; ++j)
+      acc += problem.entry(i, j) * x[static_cast<std::size_t>(j)];
+    y_exact[static_cast<std::size_t>(i)] = acc;
+  }
+  EXPECT_LT(vec_rel_err(y_h, y_exact), 50 * eps)
+      << "eps=" << eps << " nb=" << nb << " height=" << height;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TileHAccuracy,
+    ::testing::Combine(::testing::Values(1e-3, 1e-6, 1e-9),
+                       ::testing::Values(128, 256),
+                       ::testing::Values(4.0, 16.0)));
+
+/// Property: solving right after factorizing inverts matvec up to O(eps):
+/// x ~ A^-1 (A x).
+TEST(Integration, SolveInvertsMatvec) {
+  const index_t n = 500;
+  FemBemProblem<double> problem(n);
+  auto gen = [&problem](index_t i, index_t j) { return problem.entry(i, j); };
+  Engine engine({.num_workers = 2});
+  TileHOptions opts;
+  opts.tile_size = 128;
+  opts.hmatrix.compression.eps = 1e-8;
+  auto a = TileHMatrix<double>::build(engine, problem.points(), gen, opts);
+  auto a2 = TileHMatrix<double>::build(engine, problem.points(), gen, opts);
+
+  Rng rng(13);
+  std::vector<double> x(static_cast<std::size_t>(n));
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  std::vector<double> b(static_cast<std::size_t>(n), 0.0);
+  a2.matvec(1.0, x.data(), 0.0, b.data());
+  a.factorize(engine);
+  la::MatrixView<double> bv(b.data(), n, 1, n);
+  a.solve(engine, bv);
+  EXPECT_LT(vec_rel_err(b, x), 1e-5);
+}
+
+/// Property: the three formats of the solve pipeline agree - Tile-H solve,
+/// pure H-matrix solve, and dense solve give the same solution up to the
+/// compression accuracy.
+TEST(Integration, AllThreeSolversAgree) {
+  const index_t n = 400;
+  FemBemProblem<double> problem(n);
+  auto gen = [&problem](index_t i, index_t j) { return problem.entry(i, j); };
+
+  // Reference: dense.
+  auto dense = problem.dense();
+  auto x_dense = la::Matrix<double>::random(n, 1, 3);
+  la::Matrix<double> rhs(n, 1);
+  la::gemm(la::Op::NoTrans, la::Op::NoTrans, 1.0, dense.cview(),
+           x_dense.cview(), 0.0, rhs.view());
+  la::Matrix<double> x_ref = la::Matrix<double>::from_view(rhs.cview());
+  ASSERT_EQ(la::gesv(dense.view(), x_ref.view()), 0);
+
+  // Tile-H.
+  Engine engine;
+  TileHOptions opts;
+  opts.tile_size = 128;
+  opts.hmatrix.compression.eps = 1e-8;
+  auto th = TileHMatrix<double>::build(engine, problem.points(), gen, opts);
+  th.factorize(engine);
+  auto b1 = la::Matrix<double>::from_view(rhs.cview());
+  th.solve(engine, b1.view());
+  EXPECT_LT(hcham::testing::rel_diff<double>(b1.cview(), x_ref.cview()),
+            1e-5);
+
+  // Pure H.
+  cluster::ClusteringOptions copts;
+  copts.leaf_size = 32;
+  auto tree = std::make_shared<const cluster::ClusterTree>(
+      cluster::ClusterTree::build(problem.points(), copts));
+  hmat::HMatrixOptions hopts;
+  hopts.compression.eps = 1e-8;
+  auto h = hmat::build_hmatrix<double>(tree, tree->root(), tree->root(), gen,
+                                       hopts);
+  ASSERT_EQ(hmat::hlu(h, rk::TruncationParams{1e-8, -1}), 0);
+  la::Matrix<double> b2(n, 1);
+  for (index_t i = 0; i < n; ++i) b2(i, 0) = rhs(tree->perm(i), 0);
+  hmat::hlu_solve(h, b2.view());
+  la::Matrix<double> x_h(n, 1);
+  for (index_t i = 0; i < n; ++i) x_h(tree->perm(i), 0) = b2(i, 0);
+  EXPECT_LT(hcham::testing::rel_diff<double>(x_h.cview(), x_ref.cview()),
+            1e-5);
+}
+
+/// Property: product agglomeration P = to_rk(A * B) satisfies
+/// P x ~ A (B x) for arbitrary vectors.
+TEST(Integration, ProductRkActsLikeComposition) {
+  hcham::testing::HmatFixture<double> fx(500, 32, 16.0);
+  const auto& root = fx.tree->node(fx.tree->root());
+  auto gen = fx.generator();
+  auto opts = hcham::testing::hmat_options(1e-8);
+  auto a = hmat::build_hmatrix<double>(fx.tree, root.child[0], root.child[0],
+                                       gen, opts);
+  auto b = hmat::build_hmatrix<double>(fx.tree, root.child[0], root.child[1],
+                                       gen, opts);
+  auto p = hmat::detail::product_rk(a, b, rk::TruncationParams{1e-8, -1});
+
+  const index_t nc = b.cols();
+  const index_t nr = a.rows();
+  Rng rng(17);
+  std::vector<double> x(static_cast<std::size_t>(nc));
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  std::vector<double> bx(static_cast<std::size_t>(b.rows()), 0.0);
+  hmat::gemv(la::Op::NoTrans, 1.0, b, x.data(), 0.0, bx.data());
+  std::vector<double> abx(static_cast<std::size_t>(nr), 0.0);
+  hmat::gemv(la::Op::NoTrans, 1.0, a, bx.data(), 0.0, abx.data());
+  std::vector<double> px(static_cast<std::size_t>(nr), 0.0);
+  p.gemv(la::Op::NoTrans, 1.0, x.data(), px.data());
+  EXPECT_LT(vec_rel_err(px, abx), 1e-5);
+}
+
+/// The factorization must be bitwise deterministic across runs on one
+/// worker and numerically consistent across worker counts.
+TEST(Integration, FactorizationDeterminism) {
+  const index_t n = 400;
+  FemBemProblem<double> problem(n);
+  auto gen = [&problem](index_t i, index_t j) { return problem.entry(i, j); };
+  TileHOptions opts;
+  opts.tile_size = 128;
+  opts.hmatrix.compression.eps = 1e-6;
+
+  auto run = [&](int workers) {
+    Engine engine({.num_workers = workers});
+    auto a = TileHMatrix<double>::build(engine, problem.points(), gen, opts);
+    a.factorize(engine);
+    return a.to_dense_original();
+  };
+  auto f1 = run(1);
+  auto f1b = run(1);
+  EXPECT_EQ(hcham::testing::rel_diff<double>(f1.cview(), f1b.cview()), 0.0);
+  auto f4 = run(4);
+  // Task order can permute rounded additions: equal up to truncation noise.
+  EXPECT_LT(hcham::testing::rel_diff<double>(f4.cview(), f1.cview()), 1e-8);
+}
+
+/// Failure injection: a singular diagonal tile must surface as an Error
+/// from factorize(), not crash the worker pool.
+TEST(Integration, SingularMatrixSurfacesAsError) {
+  const index_t n = 256;
+  auto mesh = bem::make_cylinder(n);
+  auto ones = [](index_t, index_t) { return 1.0; };  // rank-1: singular
+  Engine engine({.num_workers = 2});
+  TileHOptions opts;
+  opts.tile_size = 64;
+  opts.hmatrix.admissibility = cluster::AdmissibilityCondition::none();
+  auto a = TileHMatrix<double>::build(engine, mesh.points, ones, opts);
+  EXPECT_THROW(a.factorize(engine), Error);
+}
+
+/// Compression must monotonically improve (ratio shrink) as eps loosens.
+TEST(Integration, CompressionMonotoneInEps) {
+  const index_t n = 1500;
+  FemBemProblem<double> problem(n);
+  auto gen = [&problem](index_t i, index_t j) { return problem.entry(i, j); };
+  double prev = 2.0;
+  for (double eps : {1e-10, 1e-6, 1e-2}) {
+    Engine engine;
+    TileHOptions opts;
+    opts.tile_size = 256;
+    opts.hmatrix.compression.eps = eps;
+    auto a = TileHMatrix<double>::build(engine, problem.points(), gen, opts);
+    EXPECT_LE(a.compression_ratio(), prev + 1e-12);
+    prev = a.compression_ratio();
+  }
+}
+
+TEST(Integration, ComplexHelmholtzEndToEnd) {
+  const index_t n = 400;
+  FemBemProblem<zdouble> problem(n);
+  auto gen = [&problem](index_t i, index_t j) { return problem.entry(i, j); };
+  Engine engine({.num_workers = 3,
+                 .policy = rt::SchedulerPolicy::LocalityWorkStealing});
+  TileHOptions opts;
+  opts.tile_size = 128;
+  opts.hmatrix.compression.eps = 1e-6;
+  auto a = TileHMatrix<zdouble>::build(engine, problem.points(), gen, opts);
+  auto a2 = TileHMatrix<zdouble>::build(engine, problem.points(), gen, opts);
+
+  // Plane-wave RHS as in the example application.
+  std::vector<zdouble> b(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i)
+    b[static_cast<std::size_t>(i)] = std::exp(zdouble(
+        0.0,
+        problem.wavenumber() * problem.points()[static_cast<std::size_t>(i)].z));
+  auto b0 = b;
+
+  a.factorize(engine);
+  la::MatrixView<zdouble> bv(b.data(), n, 1, n);
+  a.solve(engine, bv);
+
+  // Residual through the unfactorized operator: r = b0 - A x.
+  std::vector<zdouble> r = b0;
+  a2.matvec(zdouble(-1), b.data(), zdouble(1), r.data());
+  double rn = 0, bn = 0;
+  for (index_t i = 0; i < n; ++i) {
+    rn += abs_sq(r[static_cast<std::size_t>(i)]);
+    bn += abs_sq(b0[static_cast<std::size_t>(i)]);
+  }
+  EXPECT_LT(std::sqrt(rn / bn), 1e-4);
+}
+
+}  // namespace
+}  // namespace hcham

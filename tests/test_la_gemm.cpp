@@ -1,0 +1,138 @@
+// GEMM / GEMV correctness against a naive reference, for real and complex
+// scalars and all transpose combinations (parameterized sweep).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "la/la.hpp"
+#include "test_utils.hpp"
+
+namespace hcham {
+namespace {
+
+using la::ConstMatrixView;
+using la::Matrix;
+using la::Op;
+using hcham::testing::reference_gemm;
+using hcham::testing::rel_diff;
+using hcham::testing::zdouble;
+
+template <typename T>
+void check_gemm(Op opa, Op opb, index_t m, index_t n, index_t k, T alpha,
+                T beta, std::uint64_t seed) {
+  const index_t am = (opa == Op::NoTrans) ? m : k;
+  const index_t an = (opa == Op::NoTrans) ? k : m;
+  const index_t bm = (opb == Op::NoTrans) ? k : n;
+  const index_t bn = (opb == Op::NoTrans) ? n : k;
+  auto a = Matrix<T>::random(am, an, seed);
+  auto b = Matrix<T>::random(bm, bn, seed + 1);
+  auto c = Matrix<T>::random(m, n, seed + 2);
+  auto c_ref = Matrix<T>::from_view(c.cview());
+
+  la::gemm(opa, opb, alpha, a.cview(), b.cview(), beta, c.view());
+  reference_gemm(opa, opb, alpha, a.cview(), b.cview(), beta, c_ref.view());
+  EXPECT_LT(rel_diff<T>(c.cview(), c_ref.cview()), 1e-13)
+      << "ops " << la::to_string(opa) << la::to_string(opb) << " m=" << m
+      << " n=" << n << " k=" << k;
+}
+
+class GemmOps : public ::testing::TestWithParam<std::tuple<Op, Op>> {};
+
+TEST_P(GemmOps, RealDoubleMatchesReference) {
+  auto [opa, opb] = GetParam();
+  check_gemm<double>(opa, opb, 17, 13, 9, 1.0, 0.0, 100);
+  check_gemm<double>(opa, opb, 8, 21, 15, -0.5, 2.0, 200);
+  check_gemm<double>(opa, opb, 1, 1, 1, 3.0, 1.0, 300);
+}
+
+TEST_P(GemmOps, ComplexDoubleMatchesReference) {
+  auto [opa, opb] = GetParam();
+  check_gemm<zdouble>(opa, opb, 11, 7, 14, zdouble(1, -2), zdouble(0.5, 0.5),
+                      400);
+  check_gemm<zdouble>(opa, opb, 5, 19, 3, zdouble(0, 1), zdouble(), 500);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOpCombos, GemmOps,
+    ::testing::Combine(::testing::Values(Op::NoTrans, Op::Trans,
+                                         Op::ConjTrans),
+                       ::testing::Values(Op::NoTrans, Op::Trans,
+                                         Op::ConjTrans)));
+
+TEST(Gemm, LargeKBlockedPathMatches) {
+  // k > 128 exercises the cache-blocking loop.
+  check_gemm<double>(Op::NoTrans, Op::NoTrans, 31, 17, 300, 1.0, 1.0, 600);
+}
+
+TEST(Gemm, ZeroAlphaOnlyScalesC) {
+  auto c = Matrix<double>::random(6, 6, 1);
+  auto expected = Matrix<double>::from_view(c.cview());
+  la::scal(2.0, expected.view());
+  auto a = Matrix<double>::random(6, 6, 2);
+  la::gemm(Op::NoTrans, Op::NoTrans, 0.0, a.cview(), a.cview(), 2.0, c.view());
+  EXPECT_EQ(rel_diff<double>(c.cview(), expected.cview()), 0.0);
+}
+
+TEST(Gemm, BetaZeroIgnoresGarbageInC) {
+  auto a = Matrix<double>::random(4, 3, 3);
+  auto b = Matrix<double>::random(3, 5, 4);
+  Matrix<double> c(4, 5);
+  c.fill(std::numeric_limits<double>::quiet_NaN());
+  la::gemm(Op::NoTrans, Op::NoTrans, 1.0, a.cview(), b.cview(), 0.0, c.view());
+  Matrix<double> c_ref(4, 5);
+  reference_gemm<double>(Op::NoTrans, Op::NoTrans, 1.0, a.cview(), b.cview(),
+                         0.0, c_ref.view());
+  EXPECT_LT(rel_diff<double>(c.cview(), c_ref.cview()), 1e-14);
+}
+
+TEST(Gemm, DimensionMismatchThrows) {
+  Matrix<double> a(3, 4), b(5, 2), c(3, 2);
+  EXPECT_THROW(la::gemm(Op::NoTrans, Op::NoTrans, 1.0, a.cview(), b.cview(),
+                        0.0, c.view()),
+               Error);
+}
+
+TEST(Gemm, OnViewsOfLargerMatrices) {
+  auto big = Matrix<double>::random(20, 20, 9);
+  auto a = big.block(0, 0, 6, 4);
+  auto b = big.block(6, 6, 4, 5);
+  Matrix<double> c(6, 5), c_ref(6, 5);
+  la::gemm<double>(Op::NoTrans, Op::NoTrans, 1.0, a, b, 0.0, c.view());
+  reference_gemm<double>(Op::NoTrans, Op::NoTrans, 1.0, a, b, 0.0,
+                         c_ref.view());
+  EXPECT_LT(rel_diff<double>(c.cview(), c_ref.cview()), 1e-14);
+}
+
+template <typename T>
+void check_gemv(la::Op op, index_t m, index_t n, std::uint64_t seed) {
+  auto a = Matrix<T>::random(m, n, seed);
+  const index_t xd = la::op_cols(a.cview(), op);
+  const index_t yd = la::op_rows(a.cview(), op);
+  auto x = Matrix<T>::random(xd, 1, seed + 1);
+  auto y = Matrix<T>::random(yd, 1, seed + 2);
+  auto y_ref = Matrix<T>::from_view(y.cview());
+  la::gemv(op, T{2}, a.cview(), x.data(), T{-1}, y.data());
+  reference_gemm(op, Op::NoTrans, T{2}, a.cview(), x.cview(), T{-1},
+                 y_ref.view());
+  EXPECT_LT(rel_diff<T>(y.cview(), y_ref.cview()), 1e-13);
+}
+
+TEST(Gemv, AllOpsRealAndComplex) {
+  for (auto op : {Op::NoTrans, Op::Trans, Op::ConjTrans}) {
+    check_gemv<double>(op, 15, 8, 700);
+    check_gemv<zdouble>(op, 9, 16, 800);
+  }
+}
+
+TEST(Axpy, AccumulatesScaledMatrix) {
+  auto a = Matrix<double>::random(5, 5, 1);
+  auto b = Matrix<double>::random(5, 5, 2);
+  auto expect = Matrix<double>(5, 5);
+  for (index_t j = 0; j < 5; ++j)
+    for (index_t i = 0; i < 5; ++i) expect(i, j) = b(i, j) - 3.0 * a(i, j);
+  la::axpy(-3.0, a.cview(), b.view());
+  EXPECT_LT(rel_diff<double>(b.cview(), expect.cview()), 1e-15);
+}
+
+}  // namespace
+}  // namespace hcham

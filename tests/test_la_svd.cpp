@@ -1,0 +1,130 @@
+// One-sided Jacobi SVD tests: reconstruction, orthogonality, known spectra,
+// rank detection, complex inputs, and degenerate shapes.
+#include <gtest/gtest.h>
+
+#include "la/la.hpp"
+#include "test_utils.hpp"
+
+namespace hcham {
+namespace {
+
+using la::Matrix;
+using la::Op;
+using hcham::testing::rank_r_matrix;
+using hcham::testing::rel_diff;
+using hcham::testing::zdouble;
+
+template <typename T>
+void check_svd(const Matrix<T>& a, double tol = 1e-12) {
+  const index_t m = a.rows();
+  const index_t n = a.cols();
+  const index_t k = std::min(m, n);
+  auto r = la::svd<T>(a.cview());
+  ASSERT_EQ(r.u.rows(), m);
+  ASSERT_EQ(r.u.cols(), k);
+  ASSERT_EQ(r.v.rows(), n);
+  ASSERT_EQ(r.v.cols(), k);
+  ASSERT_EQ(static_cast<index_t>(r.sigma.size()), k);
+
+  // Sorted decreasing and non-negative.
+  for (index_t i = 0; i + 1 < k; ++i) {
+    EXPECT_GE(r.sigma[static_cast<std::size_t>(i)],
+              r.sigma[static_cast<std::size_t>(i + 1)]);
+  }
+  if (k > 0) {
+    EXPECT_GE(r.sigma.back(), 0.0);
+  }
+
+  // Reconstruction U * S * V^H = A.
+  Matrix<T> us(m, k);
+  for (index_t j = 0; j < k; ++j)
+    for (index_t i = 0; i < m; ++i)
+      us(i, j) = r.u(i, j) * T(r.sigma[static_cast<std::size_t>(j)]);
+  Matrix<T> rec(m, n);
+  la::gemm(Op::NoTrans, Op::ConjTrans, T{1}, us.cview(), r.v.cview(), T{},
+           rec.view());
+  EXPECT_LT(rel_diff<T>(rec.cview(), a.cview()), tol);
+
+  // U^H U = I on the numerically nonzero part; V^H V = I always.
+  Matrix<T> vhv(k, k);
+  la::gemm(Op::ConjTrans, Op::NoTrans, T{1}, r.v.cview(), r.v.cview(), T{},
+           vhv.view());
+  auto eye = Matrix<T>::identity(k);
+  EXPECT_LT(rel_diff<T>(vhv.cview(), eye.cview()), 1e-11);
+}
+
+TEST(Svd, RandomSquareReal) {
+  check_svd(Matrix<double>::random(20, 20, 1));
+  check_svd(Matrix<double>::random(45, 45, 2));
+}
+
+TEST(Svd, TallAndWideReal) {
+  check_svd(Matrix<double>::random(40, 12, 3));
+  check_svd(Matrix<double>::random(12, 40, 4));
+}
+
+TEST(Svd, Complex) {
+  check_svd(Matrix<zdouble>::random(25, 25, 5));
+  check_svd(Matrix<zdouble>::random(30, 9, 6));
+  check_svd(Matrix<zdouble>::random(9, 30, 7));
+}
+
+TEST(Svd, DiagonalMatrixRecoversEntries) {
+  Matrix<double> a(4, 4);
+  a(0, 0) = 3.0;
+  a(1, 1) = -7.0;  // singular value is |.|
+  a(2, 2) = 0.5;
+  a(3, 3) = 10.0;
+  auto r = la::svd<double>(a.cview());
+  EXPECT_NEAR(r.sigma[0], 10.0, 1e-12);
+  EXPECT_NEAR(r.sigma[1], 7.0, 1e-12);
+  EXPECT_NEAR(r.sigma[2], 3.0, 1e-12);
+  EXPECT_NEAR(r.sigma[3], 0.5, 1e-12);
+}
+
+TEST(Svd, RankDeficiencyDetected) {
+  auto a = rank_r_matrix<double>(30, 20, 5, 8);
+  auto r = la::svd<double>(a.cview());
+  EXPECT_EQ(la::numerical_rank(r.sigma, 1e-10), 5);
+  check_svd(a, 1e-11);
+}
+
+TEST(Svd, ComplexRankDeficiency) {
+  auto a = rank_r_matrix<zdouble>(24, 18, 4, 9);
+  auto r = la::svd<zdouble>(a.cview());
+  EXPECT_EQ(la::numerical_rank(r.sigma, 1e-10), 4);
+}
+
+TEST(Svd, ZeroMatrix) {
+  Matrix<double> a(5, 3);
+  auto r = la::svd<double>(a.cview());
+  for (double s : r.sigma) EXPECT_EQ(s, 0.0);
+  EXPECT_EQ(la::numerical_rank(r.sigma, 1e-10), 0);
+}
+
+TEST(Svd, SingleElement) {
+  Matrix<double> a(1, 1);
+  a(0, 0) = -4.0;
+  auto r = la::svd<double>(a.cview());
+  EXPECT_NEAR(r.sigma[0], 4.0, 1e-15);
+  check_svd(a, 1e-14);
+}
+
+TEST(Svd, SingularValuesMatchFrobeniusNorm) {
+  auto a = Matrix<double>::random(15, 10, 10);
+  auto r = la::svd<double>(a.cview());
+  double sumsq = 0;
+  for (double s : r.sigma) sumsq += s * s;
+  const double fro = la::norm_fro(a.cview());
+  EXPECT_NEAR(std::sqrt(sumsq), fro, 1e-12 * fro);
+}
+
+TEST(Svd, OrthonormalInputGivesUnitSigmas) {
+  Matrix<double> q, r0;
+  la::qr_thin<double>(Matrix<double>::random(30, 8, 11).cview(), q, r0);
+  auto r = la::svd<double>(q.cview());
+  for (double s : r.sigma) EXPECT_NEAR(s, 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace hcham

@@ -1,0 +1,286 @@
+// Task-runtime tests: dependency inference (sequential task flow), parallel
+// execution correctness under all schedulers, DAG export, and tracing.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+#include "runtime/engine.hpp"
+
+namespace hcham {
+namespace {
+
+using rt::AccessMode;
+using rt::Engine;
+using rt::Handle;
+using rt::read;
+using rt::readwrite;
+using rt::SchedulerPolicy;
+using rt::write;
+
+TEST(Runtime, TasksWithoutDepsAllRun) {
+  Engine eng;
+  std::atomic<int> count{0};
+  auto h = eng.register_data();
+  for (int i = 0; i < 10; ++i)
+    eng.submit([&count] { ++count; }, {read(h)});
+  eng.wait_all();
+  EXPECT_EQ(count.load(), 10);
+  EXPECT_EQ(eng.num_edges(), 0);  // independent readers
+}
+
+TEST(Runtime, WriteAfterWriteSerializes) {
+  Engine eng;
+  auto h = eng.register_data("x");
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i)
+    eng.submit([&order, i] { order.push_back(i); }, {readwrite(h)});
+  eng.wait_all();
+  ASSERT_EQ(order.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  EXPECT_EQ(eng.num_edges(), 4);  // a chain
+}
+
+TEST(Runtime, ReadersWaitForWriter) {
+  Engine eng({.num_workers = 4});
+  auto h = eng.register_data();
+  std::atomic<int> value{0};
+  eng.submit([&value] { value = 42; }, {write(h)});
+  std::atomic<int> seen_correct{0};
+  for (int i = 0; i < 8; ++i)
+    eng.submit(
+        [&value, &seen_correct] {
+          if (value.load() == 42) ++seen_correct;
+        },
+        {read(h)});
+  eng.wait_all();
+  EXPECT_EQ(seen_correct.load(), 8);
+}
+
+TEST(Runtime, WriterWaitsForAllReaders) {
+  Engine eng({.num_workers = 4});
+  auto h = eng.register_data();
+  std::atomic<int> readers_done{0};
+  std::atomic<bool> writer_after_readers{false};
+  eng.submit([] {}, {write(h)});
+  for (int i = 0; i < 6; ++i)
+    eng.submit([&readers_done] { ++readers_done; }, {read(h)});
+  eng.submit(
+      [&] { writer_after_readers = (readers_done.load() == 6); },
+      {write(h)});
+  eng.wait_all();
+  EXPECT_TRUE(writer_after_readers.load());
+}
+
+TEST(Runtime, DiamondDependency) {
+  Engine eng({.num_workers = 3});
+  auto a = eng.register_data();
+  auto b = eng.register_data();
+  auto c = eng.register_data();
+  std::vector<int> order;
+  std::mutex mu;
+  auto log = [&](int id) {
+    std::lock_guard<std::mutex> lk(mu);
+    order.push_back(id);
+  };
+  eng.submit([&] { log(0); }, {write(a)});
+  eng.submit([&] { log(1); }, {read(a), write(b)});
+  eng.submit([&] { log(2); }, {read(a), write(c)});
+  eng.submit([&] { log(3); }, {read(b), read(c)});
+  eng.wait_all();
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order.front(), 0);
+  EXPECT_EQ(order.back(), 3);
+}
+
+class RuntimePolicies : public ::testing::TestWithParam<SchedulerPolicy> {};
+
+TEST_P(RuntimePolicies, ChainedAccumulationIsDeterministic) {
+  // Hundreds of read-modify-write tasks on shared cells: any execution that
+  // respects dependencies yields the exact same result.
+  Engine eng({.num_workers = 4, .policy = GetParam()});
+  constexpr int kCells = 16;
+  constexpr int kRounds = 40;
+  std::vector<double> cells(kCells, 1.0);
+  std::vector<Handle> handles;
+  for (int i = 0; i < kCells; ++i) handles.push_back(eng.register_data());
+
+  for (int r = 0; r < kRounds; ++r) {
+    for (int i = 0; i < kCells; ++i) {
+      const int j = (i + 1) % kCells;
+      // cells[j] += 0.5 * cells[i]
+      eng.submit([&cells, i, j] { cells[j] += 0.5 * cells[i]; },
+                 {read(handles[i]), readwrite(handles[j])}, r % 3);
+    }
+  }
+  eng.wait_all();
+
+  // Sequential reference.
+  std::vector<double> ref(kCells, 1.0);
+  for (int r = 0; r < kRounds; ++r)
+    for (int i = 0; i < kCells; ++i) ref[(i + 1) % kCells] += 0.5 * ref[i];
+  for (int i = 0; i < kCells; ++i)
+    EXPECT_DOUBLE_EQ(cells[static_cast<std::size_t>(i)],
+                     ref[static_cast<std::size_t>(i)])
+        << "policy " << rt::to_string(GetParam());
+}
+
+TEST_P(RuntimePolicies, ManyIndependentTasksAllExecute) {
+  Engine eng({.num_workers = 8, .policy = GetParam()});
+  std::atomic<int> count{0};
+  std::vector<Handle> hs;
+  for (int i = 0; i < 200; ++i) hs.push_back(eng.register_data());
+  for (int i = 0; i < 200; ++i)
+    eng.submit([&count] { ++count; }, {write(hs[static_cast<std::size_t>(i)])},
+               i % 5);
+  eng.wait_all();
+  EXPECT_EQ(count.load(), 200);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, RuntimePolicies,
+                         ::testing::Values(SchedulerPolicy::WorkStealing,
+                                           SchedulerPolicy::LocalityWorkStealing,
+                                           SchedulerPolicy::Priority));
+
+TEST(Runtime, EpochsCarryDependenciesAcrossWaitAll) {
+  Engine eng({.num_workers = 2});
+  auto h = eng.register_data();
+  int x = 0;
+  eng.submit([&x] { x = 1; }, {write(h)});
+  eng.wait_all();
+  EXPECT_EQ(x, 1);
+  eng.submit([&x] { x += 10; }, {readwrite(h)});
+  eng.wait_all();
+  EXPECT_EQ(x, 11);
+}
+
+TEST(Runtime, GraphSnapshotHasDurationsAndEdges) {
+  Engine eng;
+  auto h = eng.register_data();
+  eng.submit([] {}, {write(h)}, 2, "first");
+  eng.submit([] {}, {readwrite(h)}, 1, "second");
+  eng.wait_all();
+  auto g = eng.graph();
+  ASSERT_EQ(g.num_tasks(), 2);
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_EQ(g.nodes[0].label, "first");
+  EXPECT_EQ(g.nodes[0].successors.size(), 1u);
+  EXPECT_EQ(g.nodes[1].num_dependencies, 1);
+  EXPECT_GE(g.nodes[0].duration_s, 0.0);
+  EXPECT_EQ(g.nodes[0].priority, 2);
+}
+
+TEST(Runtime, CriticalPathOfAChainIsTotalWork) {
+  Engine eng;
+  auto h = eng.register_data();
+  for (int i = 0; i < 5; ++i)
+    eng.submit([] {}, {readwrite(h)});
+  eng.wait_all();
+  auto g = eng.graph();
+  EXPECT_NEAR(g.critical_path_s(), g.total_work_s(), 1e-12);
+}
+
+TEST(Runtime, DotExportContainsNodesAndEdges) {
+  Engine eng;
+  auto h = eng.register_data();
+  eng.submit([] {}, {write(h)}, 0, "getrf");
+  eng.submit([] {}, {read(h)}, 0, "trsm");
+  eng.wait_all();
+  const std::string dot = eng.to_dot();
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("getrf"), std::string::npos);
+  EXPECT_NE(dot.find("t0 -> t1"), std::string::npos);
+}
+
+TEST(Runtime, TraceRecordsAllTasks) {
+  Engine eng({.num_workers = 2, .record_trace = true});
+  auto h = eng.register_data();
+  for (int i = 0; i < 7; ++i) eng.submit([] {}, {readwrite(h)});
+  eng.wait_all();
+  EXPECT_EQ(eng.trace().size(), 7u);
+  for (const auto& ev : eng.trace()) {
+    EXPECT_GE(ev.worker, 0);
+    EXPECT_LT(ev.worker, 2);
+    EXPECT_LE(ev.start_s, ev.end_s);
+  }
+}
+
+TEST(Runtime, DuplicateEdgesAreDeduplicated) {
+  Engine eng;
+  auto h1 = eng.register_data();
+  auto h2 = eng.register_data();
+  eng.submit([] {}, {write(h1), write(h2)});
+  // Second task depends on the first through BOTH handles: one edge only.
+  eng.submit([] {}, {readwrite(h1), readwrite(h2)});
+  eng.wait_all();
+  EXPECT_EQ(eng.num_edges(), 1);
+}
+
+TEST(Runtime, InvalidHandleThrows) {
+  Engine eng;
+  EXPECT_THROW(eng.submit([] {}, {read(Handle{})}), Error);
+  EXPECT_THROW(eng.submit([] {}, {read(Handle{99})}), Error);
+}
+
+TEST(Runtime, TiledLuDagShape) {
+  // The paper's Fig. 1: a 3x3 tiled LU has 3 GETRF + 6+6... in total
+  // 3 GETRF, 6 TRSM (wait: 2 block cols * ... ) - count: sum_k [1 + 2*(nt-k-1) +
+  // (nt-k-1)^2] for nt=3: k=0: 1+4+4=9; k=1: 1+2+1=4; k=2: 1 -> 14 tasks.
+  Engine eng;
+  constexpr int nt = 3;
+  Handle tiles[nt][nt];
+  for (auto& row : tiles)
+    for (auto& t : row) t = eng.register_data();
+  for (int k = 0; k < nt; ++k) {
+    eng.submit([] {}, {readwrite(tiles[k][k])}, 0, "getrf");
+    for (int j = k + 1; j < nt; ++j)
+      eng.submit([] {}, {read(tiles[k][k]), readwrite(tiles[k][j])}, 0,
+                 "trsm");
+    for (int i = k + 1; i < nt; ++i)
+      eng.submit([] {}, {read(tiles[k][k]), readwrite(tiles[i][k])}, 0,
+                 "trsm");
+    for (int i = k + 1; i < nt; ++i)
+      for (int j = k + 1; j < nt; ++j)
+        eng.submit([] {},
+                   {read(tiles[i][k]), read(tiles[k][j]),
+                    readwrite(tiles[i][j])},
+                   0, "gemm");
+  }
+  eng.wait_all();
+  EXPECT_EQ(eng.num_tasks(), 14);
+  EXPECT_GT(eng.num_edges(), 0);
+}
+
+TEST(Runtime, TaskExceptionSurfacesAtWaitAll) {
+  Engine eng;
+  auto h = eng.register_data();
+  eng.submit([] { throw std::runtime_error("task boom"); }, {write(h)});
+  EXPECT_THROW(eng.wait_all(), std::runtime_error);
+}
+
+TEST(Runtime, TaskExceptionSurfacesFromWorkerPool) {
+  Engine eng({.num_workers = 4});
+  auto h = eng.register_data();
+  std::atomic<int> others{0};
+  for (int i = 0; i < 20; ++i)
+    eng.submit([&others] { ++others; }, {read(h)});
+  eng.submit([] { throw std::logic_error("parallel boom"); },
+             {readwrite(h)});
+  EXPECT_THROW(eng.wait_all(), std::logic_error);
+  EXPECT_EQ(others.load(), 20);  // the rest of the graph still drained
+}
+
+TEST(Runtime, EngineUsableAfterTaskFailure) {
+  Engine eng({.num_workers = 2});
+  auto h = eng.register_data();
+  eng.submit([] { throw std::runtime_error("boom"); }, {write(h)});
+  EXPECT_THROW(eng.wait_all(), std::runtime_error);
+  int x = 0;
+  eng.submit([&x] { x = 7; }, {readwrite(h)});
+  eng.wait_all();
+  EXPECT_EQ(x, 7);
+}
+
+}  // namespace
+}  // namespace hcham

@@ -1,0 +1,187 @@
+// Simulator tests: conservation laws (1-worker makespan = total work,
+// P-worker makespan bounded by critical path and work/P), policy behaviour,
+// and overhead modelling.
+#include <gtest/gtest.h>
+
+#include "runtime/engine.hpp"
+#include "runtime/simulator.hpp"
+
+namespace hcham {
+namespace {
+
+using rt::SchedulerPolicy;
+using rt::SimParams;
+using rt::simulate;
+using rt::TaskGraph;
+
+/// Handcrafted graph builder (no engine needed).
+TaskGraph make_graph(
+    const std::vector<double>& durations,
+    const std::vector<std::pair<rt::TaskId, rt::TaskId>>& edges,
+    const std::vector<int>& priorities = {}) {
+  TaskGraph g;
+  g.nodes.resize(durations.size());
+  for (std::size_t i = 0; i < durations.size(); ++i) {
+    g.nodes[i].duration_s = durations[i];
+    g.nodes[i].priority =
+        priorities.empty() ? 0 : priorities[i];
+    g.nodes[i].label = "t" + std::to_string(i);
+  }
+  for (auto [from, to] : edges) {
+    g.nodes[static_cast<std::size_t>(from)].successors.push_back(to);
+    ++g.nodes[static_cast<std::size_t>(to)].num_dependencies;
+  }
+  return g;
+}
+
+constexpr SimParams kNoOverhead{0.0, 0.0};
+
+TEST(Simulator, EmptyGraph) {
+  TaskGraph g;
+  auto r = simulate(g, SchedulerPolicy::Priority, 4, kNoOverhead);
+  EXPECT_EQ(r.makespan_s, 0.0);
+}
+
+TEST(Simulator, SingleWorkerMakespanIsTotalWork) {
+  auto g = make_graph({1.0, 2.0, 3.0}, {});
+  for (auto policy : {SchedulerPolicy::WorkStealing,
+                      SchedulerPolicy::LocalityWorkStealing,
+                      SchedulerPolicy::Priority}) {
+    auto r = simulate(g, policy, 1, kNoOverhead);
+    EXPECT_DOUBLE_EQ(r.makespan_s, 6.0) << rt::to_string(policy);
+  }
+}
+
+TEST(Simulator, IndependentTasksScalePerfectly) {
+  std::vector<double> d(64, 1.0);
+  auto g = make_graph(d, {});
+  for (auto policy : {SchedulerPolicy::WorkStealing,
+                      SchedulerPolicy::LocalityWorkStealing,
+                      SchedulerPolicy::Priority}) {
+    auto r = simulate(g, policy, 8, kNoOverhead);
+    EXPECT_DOUBLE_EQ(r.makespan_s, 8.0) << rt::to_string(policy);
+    EXPECT_NEAR(r.parallel_efficiency(), 1.0, 1e-12);
+  }
+}
+
+TEST(Simulator, ChainCannotScale) {
+  auto g = make_graph({1.0, 1.0, 1.0, 1.0},
+                      {{0, 1}, {1, 2}, {2, 3}});
+  auto r = simulate(g, SchedulerPolicy::Priority, 16, kNoOverhead);
+  EXPECT_DOUBLE_EQ(r.makespan_s, 4.0);
+  EXPECT_DOUBLE_EQ(g.critical_path_s(), 4.0);
+}
+
+TEST(Simulator, MakespanRespectsLowerBounds) {
+  // Random-ish layered DAG: makespan >= max(critical path, work / P).
+  std::vector<double> d;
+  std::vector<std::pair<rt::TaskId, rt::TaskId>> e;
+  for (int layer = 0; layer < 6; ++layer)
+    for (int i = 0; i < 10; ++i) {
+      const rt::TaskId id = layer * 10 + i;
+      d.push_back(0.1 + 0.01 * static_cast<double>(i));
+      if (layer > 0) e.push_back({(layer - 1) * 10 + (i + 3) % 10, id});
+    }
+  auto g = make_graph(d, e);
+  for (int p : {1, 2, 4, 8}) {
+    auto r = simulate(g, SchedulerPolicy::Priority, p, kNoOverhead);
+    EXPECT_GE(r.makespan_s, g.critical_path_s() - 1e-12);
+    EXPECT_GE(r.makespan_s,
+              g.total_work_s() / static_cast<double>(p) - 1e-12);
+    EXPECT_LE(r.makespan_s, g.total_work_s() + 1e-12);
+  }
+}
+
+TEST(Simulator, MoreWorkersNeverSlowerOnWideGraphs) {
+  std::vector<double> d(100, 1.0);
+  auto g = make_graph(d, {});
+  double prev = 1e30;
+  for (int p : {1, 2, 4, 8, 16}) {
+    auto r = simulate(g, SchedulerPolicy::Priority, p, kNoOverhead);
+    EXPECT_LE(r.makespan_s, prev + 1e-12);
+    prev = r.makespan_s;
+  }
+}
+
+TEST(Simulator, PriorityPolicyRunsUrgentTasksFirst) {
+  // Two ready tasks, one worker: the higher-priority one must run first,
+  // which matters because it unlocks a long chain.
+  auto g = make_graph({1.0, 1.0, 10.0}, {{1, 2}}, {0, 5, 0});
+  auto r = simulate(g, SchedulerPolicy::Priority, 1, kNoOverhead);
+  // t1 (prio 5) runs first, then t0 and t2 in some order; makespan 12 either
+  // way on one worker, but with two workers priority matters:
+  auto r2 = simulate(g, SchedulerPolicy::Priority, 2, kNoOverhead);
+  EXPECT_DOUBLE_EQ(r2.makespan_s, 11.0);  // t1 at 0-1, t2 at 1-11
+  (void)r;
+}
+
+TEST(Simulator, TaskOverheadInflatesMakespan) {
+  std::vector<double> d(10, 1.0e-3);
+  auto g = make_graph(d, {});
+  auto fast = simulate(g, SchedulerPolicy::Priority, 1, kNoOverhead);
+  auto slow = simulate(g, SchedulerPolicy::Priority, 1,
+                       SimParams{1.0e-3, 0.0});
+  EXPECT_NEAR(slow.makespan_s, fast.makespan_s + 10.0e-3, 1e-12);
+}
+
+TEST(Simulator, EdgeOverheadPenalizesDenseDags) {
+  // Same work, same shape, but one graph has 4x the dependency count
+  // (modelling HMAT's fine-grain DAG vs Tile-H).
+  auto sparse = make_graph({1e-3, 1e-3, 1e-3}, {{0, 2}, {1, 2}});
+  auto dense = sparse;
+  for (int extra = 0; extra < 6; ++extra) {
+    dense.nodes[0].successors.push_back(2);
+    ++dense.nodes[2].num_dependencies;
+  }
+  const SimParams params{0.0, 1.0e-4};
+  auto rs = simulate(sparse, SchedulerPolicy::Priority, 2, params);
+  auto rd = simulate(dense, SchedulerPolicy::Priority, 2, params);
+  EXPECT_GT(rd.makespan_s, rs.makespan_s);
+}
+
+TEST(Simulator, PoliciesAgreeOnEmbarrassinglyParallelWork) {
+  std::vector<double> d(32, 0.5);
+  auto g = make_graph(d, {});
+  const auto ws = simulate(g, SchedulerPolicy::WorkStealing, 4, kNoOverhead);
+  const auto lws =
+      simulate(g, SchedulerPolicy::LocalityWorkStealing, 4, kNoOverhead);
+  const auto prio = simulate(g, SchedulerPolicy::Priority, 4, kNoOverhead);
+  EXPECT_DOUBLE_EQ(ws.makespan_s, lws.makespan_s);
+  EXPECT_DOUBLE_EQ(ws.makespan_s, prio.makespan_s);
+}
+
+TEST(Simulator, ReplayOfRealEngineGraph) {
+  // Build a tiled-LU-shaped graph in the engine, execute it, then replay.
+  rt::Engine eng;
+  constexpr int nt = 4;
+  rt::Handle tiles[nt][nt];
+  for (auto& row : tiles)
+    for (auto& t : row) t = eng.register_data();
+  for (int k = 0; k < nt; ++k) {
+    eng.submit([] {}, {readwrite(tiles[k][k])}, 3, "getrf");
+    for (int j = k + 1; j < nt; ++j)
+      eng.submit([] {}, {read(tiles[k][k]), readwrite(tiles[k][j])}, 2,
+                 "trsm");
+    for (int i = k + 1; i < nt; ++i)
+      eng.submit([] {}, {read(tiles[k][k]), readwrite(tiles[i][k])}, 2,
+                 "trsm");
+    for (int i = k + 1; i < nt; ++i)
+      for (int j = k + 1; j < nt; ++j)
+        eng.submit([] {},
+                   {read(tiles[i][k]), read(tiles[k][j]),
+                    readwrite(tiles[i][j])},
+                   1, "gemm");
+  }
+  eng.wait_all();
+  auto g = eng.graph();
+  // Give every task a synthetic 1ms duration for a deterministic replay.
+  for (auto& node : g.nodes) node.duration_s = 1e-3;
+  auto r1 = simulate(g, SchedulerPolicy::Priority, 1, kNoOverhead);
+  auto r4 = simulate(g, SchedulerPolicy::Priority, 4, kNoOverhead);
+  EXPECT_NEAR(r1.makespan_s, g.total_work_s(), 1e-12);
+  EXPECT_LT(r4.makespan_s, r1.makespan_s);
+  EXPECT_GE(r4.makespan_s, g.critical_path_s() - 1e-12);
+}
+
+}  // namespace
+}  // namespace hcham

@@ -1,0 +1,118 @@
+// HODLR-style structures (weak admissibility: every off-diagonal block is
+// one low-rank leaf; the Block-Separable format of the paper's Section
+// III). These exercise the Rk-dominant code paths of H-LU and H-GEMM that
+// strong admissibility rarely hits at small sizes.
+#include <gtest/gtest.h>
+
+#include "core/hlu_tasks.hpp"
+#include "hmat_test_utils.hpp"
+
+namespace hcham {
+namespace {
+
+using la::Matrix;
+using la::Op;
+using rk::TruncationParams;
+using hcham::testing::HmatFixture;
+using hcham::testing::rel_diff;
+using hcham::testing::zdouble;
+
+template <typename T>
+hmat::HMatrix<T> build_weak(const HmatFixture<T>& fx, double eps) {
+  hmat::HMatrixOptions opts;
+  opts.admissibility = cluster::AdmissibilityCondition::weak();
+  opts.compression.eps = eps;
+  return hmat::build_hmatrix<T>(fx.tree, fx.tree->root(), fx.tree->root(),
+                                fx.generator(), opts);
+}
+
+TEST(WeakAdmissibility, EveryOffDiagonalBlockIsRk) {
+  HmatFixture<double> fx(400);
+  auto h = build_weak(fx, 1e-6);
+  // Walk: each hierarchical node's off-diagonal children must be Rk.
+  std::vector<const hmat::HMatrix<double>*> stack{&h};
+  while (!stack.empty()) {
+    const auto* n = stack.back();
+    stack.pop_back();
+    if (!n->is_hierarchical()) continue;
+    EXPECT_TRUE(n->child(0, 1).is_rk());
+    EXPECT_TRUE(n->child(1, 0).is_rk());
+    stack.push_back(&n->child(0, 0));
+    stack.push_back(&n->child(1, 1));
+  }
+}
+
+TEST(WeakAdmissibility, ApproximatesKernel) {
+  HmatFixture<double> fx(350);
+  auto h = build_weak(fx, 1e-6);
+  EXPECT_LT(rel_diff<double>(h.to_dense().cview(),
+                             fx.dense_permuted().cview()),
+            1e-4);
+}
+
+TEST(WeakAdmissibility, HigherRanksThanStrong) {
+  // Weak admissibility compresses blocks that strong would subdivide, so
+  // its maximal rank is larger (1D interaction manifolds are gentle here,
+  // but the ordering must hold).
+  HmatFixture<double> fx(800);
+  auto weak = build_weak(fx, 1e-6);
+  auto strong = fx.build(hcham::testing::hmat_options(1e-6));
+  EXPECT_GE(weak.stats().max_rank, strong.stats().max_rank);
+  EXPECT_LT(weak.stats().rk_leaves, strong.stats().rk_leaves + 1000);
+}
+
+TEST(WeakAdmissibility, HluSolves) {
+  HmatFixture<double> fx(500);
+  auto h = build_weak(fx, 1e-8);
+  auto dense = fx.dense_permuted();
+  auto x0 = Matrix<double>::random(500, 1, 3);
+  Matrix<double> b(500, 1);
+  la::gemm(Op::NoTrans, Op::NoTrans, 1.0, dense.cview(), x0.cview(), 0.0,
+           b.view());
+  ASSERT_EQ(hmat::hlu(h, TruncationParams{1e-8, -1}), 0);
+  hmat::hlu_solve(h, b.view());
+  EXPECT_LT(rel_diff<double>(b.cview(), x0.cview()), 1e-4);
+}
+
+TEST(WeakAdmissibility, HluSolvesComplex) {
+  HmatFixture<zdouble> fx(400);
+  auto h = build_weak(fx, 1e-8);
+  auto dense = fx.dense_permuted();
+  auto x0 = Matrix<zdouble>::random(400, 1, 5);
+  Matrix<zdouble> b(400, 1);
+  la::gemm(Op::NoTrans, Op::NoTrans, zdouble(1), dense.cview(), x0.cview(),
+           zdouble(0), b.view());
+  ASSERT_EQ(hmat::hlu(h, TruncationParams{1e-8, -1}), 0);
+  hmat::hlu_solve(h, b.view());
+  EXPECT_LT(rel_diff<zdouble>(b.cview(), x0.cview()), 1e-4);
+}
+
+TEST(WeakAdmissibility, CholeskyOnSpdKernel) {
+  HmatFixture<double> fx(400);
+  auto h = build_weak(fx, 1e-8);
+  auto dense = fx.dense_permuted();
+  auto x0 = Matrix<double>::random(400, 1, 7);
+  Matrix<double> b(400, 1);
+  la::gemm(Op::NoTrans, Op::NoTrans, 1.0, dense.cview(), x0.cview(), 0.0,
+           b.view());
+  ASSERT_EQ(hmat::hchol(h, TruncationParams{1e-8, -1}), 0);
+  hmat::hchol_solve(h, b.view());
+  EXPECT_LT(rel_diff<double>(b.cview(), x0.cview()), 1e-4);
+}
+
+TEST(WeakAdmissibility, FineGrainTaskLuMatchesSequential) {
+  HmatFixture<double> fx(400);
+  auto h_seq = build_weak(fx, 1e-8);
+  auto h_task = build_weak(fx, 1e-8);
+  ASSERT_EQ(hmat::hlu(h_seq, TruncationParams{1e-8, -1}), 0);
+  rt::Engine eng({.num_workers = 3});
+  core::HluTaskGraph<double> graph(eng, h_task, TruncationParams{1e-8, -1});
+  graph.submit();
+  eng.wait_all();
+  EXPECT_LT(rel_diff<double>(h_task.to_dense().cview(),
+                             h_seq.to_dense().cview()),
+            1e-10);
+}
+
+}  // namespace
+}  // namespace hcham
