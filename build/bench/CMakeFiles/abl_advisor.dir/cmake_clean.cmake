@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_advisor.dir/abl_advisor.cpp.o"
+  "CMakeFiles/abl_advisor.dir/abl_advisor.cpp.o.d"
+  "abl_advisor"
+  "abl_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

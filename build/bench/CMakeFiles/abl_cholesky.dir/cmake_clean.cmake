@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_cholesky.dir/abl_cholesky.cpp.o"
+  "CMakeFiles/abl_cholesky.dir/abl_cholesky.cpp.o.d"
+  "abl_cholesky"
+  "abl_cholesky.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_cholesky.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

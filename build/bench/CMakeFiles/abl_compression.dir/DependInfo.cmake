@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/abl_compression.cpp" "bench/CMakeFiles/abl_compression.dir/abl_compression.cpp.o" "gcc" "bench/CMakeFiles/abl_compression.dir/abl_compression.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bem/CMakeFiles/hcham_bem.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/hcham_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/hcham_cluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

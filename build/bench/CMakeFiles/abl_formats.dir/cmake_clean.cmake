@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_formats.dir/abl_formats.cpp.o"
+  "CMakeFiles/abl_formats.dir/abl_formats.cpp.o.d"
+  "abl_formats"
+  "abl_formats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_formats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_schedulers.dir/abl_schedulers.cpp.o"
+  "CMakeFiles/abl_schedulers.dir/abl_schedulers.cpp.o.d"
+  "abl_schedulers"
+  "abl_schedulers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_schedulers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

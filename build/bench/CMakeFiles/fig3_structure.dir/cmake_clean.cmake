@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_structure.dir/fig3_structure.cpp.o"
+  "CMakeFiles/fig3_structure.dir/fig3_structure.cpp.o.d"
+  "fig3_structure"
+  "fig3_structure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_compression.dir/fig4_compression.cpp.o"
+  "CMakeFiles/fig4_compression.dir/fig4_compression.cpp.o.d"
+  "fig4_compression"
+  "fig4_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

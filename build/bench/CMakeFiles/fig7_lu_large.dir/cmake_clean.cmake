@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_lu_large.dir/fig7_lu_large.cpp.o"
+  "CMakeFiles/fig7_lu_large.dir/fig7_lu_large.cpp.o.d"
+  "fig7_lu_large"
+  "fig7_lu_large.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_lu_large.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bem_cylinder.dir/bem_cylinder.cpp.o"
+  "CMakeFiles/bem_cylinder.dir/bem_cylinder.cpp.o.d"
+  "bem_cylinder"
+  "bem_cylinder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bem_cylinder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capacitance.dir/capacitance.cpp.o"
+  "CMakeFiles/capacitance.dir/capacitance.cpp.o.d"
+  "capacitance"
+  "capacitance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capacitance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/structure_viz.dir/structure_viz.cpp.o"
+  "CMakeFiles/structure_viz.dir/structure_viz.cpp.o.d"
+  "structure_viz"
+  "structure_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/structure_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

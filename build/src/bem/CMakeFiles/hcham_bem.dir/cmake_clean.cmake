@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcham_bem.dir/cylinder.cpp.o"
+  "CMakeFiles/hcham_bem.dir/cylinder.cpp.o.d"
+  "libhcham_bem.a"
+  "libhcham_bem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcham_bem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hcham_bem.
+# This may be replaced when dependencies are built.

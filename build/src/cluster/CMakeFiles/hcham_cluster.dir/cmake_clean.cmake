@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcham_cluster.dir/cluster_tree.cpp.o"
+  "CMakeFiles/hcham_cluster.dir/cluster_tree.cpp.o.d"
+  "libhcham_cluster.a"
+  "libhcham_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcham_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

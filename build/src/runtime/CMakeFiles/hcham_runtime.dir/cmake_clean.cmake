@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcham_runtime.dir/engine.cpp.o"
+  "CMakeFiles/hcham_runtime.dir/engine.cpp.o.d"
+  "CMakeFiles/hcham_runtime.dir/simulator.cpp.o"
+  "CMakeFiles/hcham_runtime.dir/simulator.cpp.o.d"
+  "libhcham_runtime.a"
+  "libhcham_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcham_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

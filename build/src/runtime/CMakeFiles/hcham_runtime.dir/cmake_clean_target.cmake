@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhcham_runtime.a"
+)

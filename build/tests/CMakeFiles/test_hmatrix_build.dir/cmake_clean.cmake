@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hmatrix_build.dir/test_hmatrix_build.cpp.o"
+  "CMakeFiles/test_hmatrix_build.dir/test_hmatrix_build.cpp.o.d"
+  "test_hmatrix_build"
+  "test_hmatrix_build.pdb"
+  "test_hmatrix_build[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hmatrix_build.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

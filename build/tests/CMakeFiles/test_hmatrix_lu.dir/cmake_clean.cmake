@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hmatrix_lu.dir/test_hmatrix_lu.cpp.o"
+  "CMakeFiles/test_hmatrix_lu.dir/test_hmatrix_lu.cpp.o.d"
+  "test_hmatrix_lu"
+  "test_hmatrix_lu.pdb"
+  "test_hmatrix_lu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hmatrix_lu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hmatrix_ops.dir/test_hmatrix_ops.cpp.o"
+  "CMakeFiles/test_hmatrix_ops.dir/test_hmatrix_ops.cpp.o.d"
+  "test_hmatrix_ops"
+  "test_hmatrix_ops.pdb"
+  "test_hmatrix_ops[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hmatrix_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

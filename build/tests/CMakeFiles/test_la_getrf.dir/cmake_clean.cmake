@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_la_getrf.dir/test_la_getrf.cpp.o"
+  "CMakeFiles/test_la_getrf.dir/test_la_getrf.cpp.o.d"
+  "test_la_getrf"
+  "test_la_getrf.pdb"
+  "test_la_getrf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_la_getrf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

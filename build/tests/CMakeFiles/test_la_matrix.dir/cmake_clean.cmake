@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_la_matrix.dir/test_la_matrix.cpp.o"
+  "CMakeFiles/test_la_matrix.dir/test_la_matrix.cpp.o.d"
+  "test_la_matrix"
+  "test_la_matrix.pdb"
+  "test_la_matrix[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_la_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_la_qr.dir/test_la_qr.cpp.o"
+  "CMakeFiles/test_la_qr.dir/test_la_qr.cpp.o.d"
+  "test_la_qr"
+  "test_la_qr.pdb"
+  "test_la_qr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_la_qr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

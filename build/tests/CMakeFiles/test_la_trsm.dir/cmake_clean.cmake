@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_la_trsm.dir/test_la_trsm.cpp.o"
+  "CMakeFiles/test_la_trsm.dir/test_la_trsm.cpp.o.d"
+  "test_la_trsm"
+  "test_la_trsm.pdb"
+  "test_la_trsm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_la_trsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

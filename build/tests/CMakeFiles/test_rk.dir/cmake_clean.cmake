@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rk.dir/test_rk.cpp.o"
+  "CMakeFiles/test_rk.dir/test_rk.cpp.o.d"
+  "test_rk"
+  "test_rk.pdb"
+  "test_rk[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

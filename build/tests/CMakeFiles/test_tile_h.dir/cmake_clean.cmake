@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tile_h.dir/test_tile_h.cpp.o"
+  "CMakeFiles/test_tile_h.dir/test_tile_h.cpp.o.d"
+  "test_tile_h"
+  "test_tile_h.pdb"
+  "test_tile_h[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tile_h.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_weak_admissibility.dir/test_weak_admissibility.cpp.o"
+  "CMakeFiles/test_weak_admissibility.dir/test_weak_admissibility.cpp.o.d"
+  "test_weak_admissibility"
+  "test_weak_admissibility.pdb"
+  "test_weak_admissibility[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_weak_admissibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_la_matrix[1]_include.cmake")
+include("/root/repo/build/tests/test_la_gemm[1]_include.cmake")
+include("/root/repo/build/tests/test_la_trsm[1]_include.cmake")
+include("/root/repo/build/tests/test_la_getrf[1]_include.cmake")
+include("/root/repo/build/tests/test_la_qr[1]_include.cmake")
+include("/root/repo/build/tests/test_la_svd[1]_include.cmake")
+include("/root/repo/build/tests/test_cluster[1]_include.cmake")
+include("/root/repo/build/tests/test_bem[1]_include.cmake")
+include("/root/repo/build/tests/test_rk[1]_include.cmake")
+include("/root/repo/build/tests/test_aca[1]_include.cmake")
+include("/root/repo/build/tests/test_hmatrix_build[1]_include.cmake")
+include("/root/repo/build/tests/test_hmatrix_ops[1]_include.cmake")
+include("/root/repo/build/tests/test_hmatrix_lu[1]_include.cmake")
+include("/root/repo/build/tests/test_runtime[1]_include.cmake")
+include("/root/repo/build/tests/test_simulator[1]_include.cmake")
+include("/root/repo/build/tests/test_tile[1]_include.cmake")
+include("/root/repo/build/tests/test_tile_h[1]_include.cmake")
+include("/root/repo/build/tests/test_hlu_tasks[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_cholesky[1]_include.cmake")
+include("/root/repo/build/tests/test_formats[1]_include.cmake")
+include("/root/repo/build/tests/test_stress[1]_include.cmake")
+include("/root/repo/build/tests/test_weak_admissibility[1]_include.cmake")
