@@ -1,6 +1,7 @@
 #include "runtime/engine.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <deque>
@@ -8,6 +9,7 @@
 #include <sstream>
 #include <thread>
 
+#include "common/rng.hpp"
 #include "common/timer.hpp"
 
 namespace hcham::rt {
@@ -26,6 +28,8 @@ struct Task {
   bool done = false;
   TaskId last_edge_to = -1;  ///< dedupe mark: all edges to one task are
                              ///< added within a single submit() call
+  std::vector<Access> accesses;  ///< per-handle strongest mode; only
+                                 ///< populated under check_conflicts
 };
 
 struct HandleState {
@@ -59,6 +63,17 @@ struct Engine::Impl {
   index_t remaining = 0;
   std::exception_ptr first_error;
   int seed_rr = 0;  ///< round-robin seed target for initially-ready tasks
+  std::atomic<bool> executing{false};  ///< set for the span of wait_all()
+
+  // Access-conflict checker state (under mu; valid during wait_all when
+  // opts.check_conflicts). One slot per handle: the running writer task (if
+  // any), the count of running readers, and one reader id for diagnostics.
+  std::vector<TaskId> active_writer;
+  std::vector<index_t> active_readers;
+  std::vector<TaskId> reader_witness;
+  std::vector<std::string> conflict_log;
+
+  index_t edge_counter = 0;  ///< inferred-edge count (fault injection)
 
   // Scheduler queues.
   std::vector<TaskId> prio_heap;                 // policy: prio
@@ -76,10 +91,65 @@ struct Engine::Impl {
     if (src.done) return;  // dependency already satisfied (earlier epoch)
     if (src.last_edge_to == to) return;  // dedupe within this submit
     src.last_edge_to = to;
+    if (edge_counter++ == opts.fault_drop_edge) return;  // fault injection
     src.successors.push_back(to);
     Task& dst = tasks[static_cast<std::size_t>(to)];
     ++dst.num_deps;
     ++dst.pending;
+  }
+
+  // --- access-conflict checker (all under mu) ----------------------------
+
+  void report_conflict(const Task& t, TaskId other, Handle h,
+                       const char* kind) {
+    const Task& o = tasks[static_cast<std::size_t>(other)];
+    std::ostringstream msg;
+    msg << kind << " access conflict on handle #" << h.id;
+    const std::string& name = handles[static_cast<std::size_t>(h.id)].name;
+    if (!name.empty()) msg << " '" << name << "'";
+    msg << ": task " << t.id << (t.label.empty() ? "" : " [" + t.label + "]")
+        << " started while task " << other
+        << (o.label.empty() ? "" : " [" + o.label + "]") << " was running";
+    conflict_log.push_back(msg.str());
+  }
+
+  /// Mark the task's accesses active; any overlap with a running writer
+  /// (or a running reader, for a writer) is a missing dependency edge.
+  void checker_enter(const Task& t) {
+    for (const Access& a : t.accesses) {
+      const auto h = static_cast<std::size_t>(a.handle.id);
+      if (a.mode == AccessMode::Read) {
+        if (active_writer[h] >= 0)
+          report_conflict(t, active_writer[h], a.handle, "R/W");
+        ++active_readers[h];
+        reader_witness[h] = t.id;
+      } else {
+        if (active_writer[h] >= 0)
+          report_conflict(t, active_writer[h], a.handle, "W/W");
+        else if (active_readers[h] > 0)
+          report_conflict(t, reader_witness[h], a.handle, "W/R");
+        active_writer[h] = t.id;
+      }
+    }
+  }
+
+  void checker_leave(const Task& t) {
+    for (const Access& a : t.accesses) {
+      const auto h = static_cast<std::size_t>(a.handle.id);
+      if (a.mode == AccessMode::Read) {
+        --active_readers[h];
+      } else if (active_writer[h] == t.id) {
+        // A conflicting second writer may have overwritten the slot.
+        active_writer[h] = -1;
+      }
+    }
+  }
+
+  void checker_reset() {
+    conflict_log.clear();
+    active_writer.assign(handles.size(), -1);
+    active_readers.assign(handles.size(), 0);
+    reader_witness.assign(handles.size(), -1);
   }
 
   // --- scheduler plumbing (all under mu) ---------------------------------
@@ -200,6 +270,49 @@ struct Engine::Impl {
     }
   }
 
+  /// Single-threaded replay in a seed-chosen random topological order: at
+  /// every step one of the currently-ready tasks is drawn uniformly. This
+  /// explores legal schedules the three production policies never produce,
+  /// deterministically per seed.
+  void run_fuzzed() {
+    Rng rng(opts.fuzz_seed);
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<TaskId> ready;
+    index_t left = 0;
+    for (Task& t : tasks) {
+      if (t.done) continue;
+      ++left;
+      if (t.pending == 0) ready.push_back(t.id);
+    }
+    while (!ready.empty()) {
+      const std::size_t pick =
+          static_cast<std::size_t>(rng.uniform_index(ready.size()));
+      const TaskId id = ready[pick];
+      ready[pick] = ready.back();
+      ready.pop_back();
+      Task& t = tasks[static_cast<std::size_t>(id)];
+      const double start =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      Timer timer;
+      try {
+        t.fn();
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+      }
+      t.duration_s = timer.seconds();
+      t.done = true;
+      for (const TaskId succ : t.successors) {
+        Task& s = tasks[static_cast<std::size_t>(succ)];
+        if (--s.pending == 0) ready.push_back(succ);
+      }
+      --left;
+      if (opts.record_trace)
+        trace.push_back(TraceEvent{t.id, 0, start, start + t.duration_s});
+    }
+    HCHAM_CHECK_MSG(left == 0, "fuzzed replay stalled: cycle in task graph");
+  }
+
   void worker_loop(int w, const std::chrono::steady_clock::time_point t0) {
     std::unique_lock<std::mutex> lk(mu);
     while (true) {
@@ -213,6 +326,7 @@ struct Engine::Impl {
         continue;
       }
       Task& t = tasks[static_cast<std::size_t>(id)];
+      if (opts.check_conflicts) checker_enter(t);
       lk.unlock();
       const double start =
           std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
@@ -226,6 +340,7 @@ struct Engine::Impl {
       }
       const double dur = timer.seconds();
       lk.lock();
+      if (opts.check_conflicts) checker_leave(t);
       if (error && !first_error) first_error = error;
       t.duration_s = dur;
       t.done = true;
@@ -278,12 +393,30 @@ Handle Engine::register_data(std::string name) {
 
 TaskId Engine::submit(std::function<void()> fn, std::vector<Access> accesses,
                       int priority, std::string label) {
+  HCHAM_CHECK_MSG(!impl_->executing.load(std::memory_order_acquire),
+                  "submit() called while wait_all() is running");
   const TaskId id = static_cast<TaskId>(impl_->tasks.size());
   Task t;
   t.id = id;
   t.fn = std::move(fn);
   t.label = std::move(label);
   t.priority = priority;
+  if (impl_->opts.check_conflicts) {
+    // The checker needs the accesses at execution time, collapsed to one
+    // strongest mode per handle (a task may list a handle several times).
+    for (const Access& a : accesses) {
+      const AccessMode m =
+          a.mode == AccessMode::Read ? AccessMode::Read : AccessMode::Write;
+      auto it = std::find_if(t.accesses.begin(), t.accesses.end(),
+                             [&a](const Access& b) {
+                               return b.handle.id == a.handle.id;
+                             });
+      if (it == t.accesses.end())
+        t.accesses.push_back(Access{a.handle, m});
+      else if (m == AccessMode::Write)
+        it->mode = AccessMode::Write;
+    }
+  }
   impl_->tasks.push_back(std::move(t));
 
   for (const Access& a : accesses) {
@@ -308,10 +441,30 @@ TaskId Engine::submit(std::function<void()> fn, std::vector<Access> accesses,
 }
 
 void Engine::wait_all() {
-  if (impl_->opts.num_workers == 1) {
+  struct ExecGuard {
+    std::atomic<bool>& flag;
+    explicit ExecGuard(std::atomic<bool>& f) : flag(f) {
+      flag.store(true, std::memory_order_release);
+    }
+    ~ExecGuard() { flag.store(false, std::memory_order_release); }
+  } guard(impl_->executing);
+  if (impl_->opts.check_conflicts) impl_->checker_reset();
+  if (impl_->opts.fuzz_schedule) {
+    impl_->run_fuzzed();
+  } else if (impl_->opts.num_workers == 1) {
     impl_->run_sequential();
   } else {
     impl_->run_parallel();
+  }
+  // A conflict means the engine itself scheduled two overlapping accesses:
+  // more fundamental than any task failure, so it is surfaced first.
+  if (!impl_->conflict_log.empty()) {
+    impl_->first_error = nullptr;
+    throw Error(impl_->conflict_log.front() +
+                (impl_->conflict_log.size() > 1
+                     ? " (+" + std::to_string(impl_->conflict_log.size() - 1) +
+                           " more)"
+                     : ""));
   }
   // Surface the first task failure to the caller. Remaining tasks have
   // been drained (dependents of the failed task still ran; kernels are
@@ -353,6 +506,10 @@ TaskGraph Engine::graph() const {
 }
 
 const std::vector<TraceEvent>& Engine::trace() const { return impl_->trace; }
+
+const std::vector<std::string>& Engine::conflicts() const {
+  return impl_->conflict_log;
+}
 
 std::string Engine::to_dot() const {
   std::ostringstream out;

@@ -28,6 +28,22 @@ class Engine {
     int num_workers = 1;
     SchedulerPolicy policy = SchedulerPolicy::Priority;
     bool record_trace = false;
+    /// Debug: while the graph executes, assert that no two
+    /// concurrently-running tasks hold conflicting accesses (W/W or R/W)
+    /// on the same handle. A conflict means the engine inferred too few
+    /// dependency edges; all conflicts of an epoch are collected (see
+    /// conflicts()) and surfaced as an Error from wait_all().
+    bool check_conflicts = false;
+    /// Debug: execute wait_all() single-threaded in a random topological
+    /// order drawn from fuzz_seed instead of the configured scheduler.
+    /// The replay is deterministic given the seed, so any
+    /// order-dependence bug reproduces from a single integer.
+    bool fuzz_schedule = false;
+    std::uint64_t fuzz_seed = 0;
+    /// Fault injection (tests only): silently drop the n-th inferred
+    /// dependency edge, to validate that the conflict checker fires on a
+    /// known-bad graph. -1 disables.
+    index_t fault_drop_edge = -1;
   };
 
   Engine();
@@ -59,6 +75,10 @@ class Engine {
 
   /// Execution trace (empty unless Options::record_trace).
   const std::vector<TraceEvent>& trace() const;
+
+  /// Conflicts recorded by the access-conflict checker during the last
+  /// wait_all() epoch (empty unless Options::check_conflicts).
+  const std::vector<std::string>& conflicts() const;
 
   /// Graphviz rendering of the dependency DAG (paper Fig. 1).
   std::string to_dot() const;

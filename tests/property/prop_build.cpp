@@ -1,0 +1,66 @@
+// Property: the Tile-H build round-trips — densifying the assembled
+// Tile-H matrix recovers the exact kernel matrix up to the compression
+// accuracy, for random geometries, tile grids, and accuracies, under every
+// scheduler policy and worker count (assembly is task-parallel).
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "bem/testcase.hpp"
+#include "core/tile_h.hpp"
+#include "prop_utils.hpp"
+#include "test_utils.hpp"
+
+namespace hcham {
+namespace {
+
+using bem::FemBemProblem;
+using core::TileHMatrix;
+using core::TileHOptions;
+using rt::Engine;
+using hcham::testing::rel_diff;
+using hcham::testing::prop::check_with_shrink;
+using hcham::testing::prop::full_sweep;
+using hcham::testing::prop::ProblemConfig;
+using hcham::testing::prop::Sweep;
+using hcham::testing::prop::sweep_name;
+
+class BuildRoundTrip : public ::testing::TestWithParam<Sweep> {};
+
+TEST_P(BuildRoundTrip, DensifiedTileHMatchesKernelMatrix) {
+  const Sweep sw = GetParam();
+  Rng rng(sw.seed);
+  check_with_shrink(
+      sw, ProblemConfig::draw(rng),
+      [&sw](const ProblemConfig& c) -> std::optional<std::string> {
+        try {
+          FemBemProblem<double> problem(c.n, 1.0, c.height);
+          auto gen = [&problem](index_t i, index_t j) {
+            return problem.entry(i, j);
+          };
+          Engine eng({.num_workers = sw.workers,
+                      .policy = sw.policy,
+                      .check_conflicts = true});
+          TileHOptions opts;
+          opts.tile_size = c.tile_size;
+          opts.clustering.leaf_size = c.leaf_size;
+          opts.hmatrix.compression.eps = c.eps;
+          auto a = TileHMatrix<double>::build(eng, problem.points(), gen,
+                                              opts);
+          const double err = rel_diff<double>(a.to_dense_original().cview(),
+                                              problem.dense().cview());
+          if (!(err < 100 * c.eps))
+            return "round-trip error " + std::to_string(err) + " vs eps " +
+                   std::to_string(c.eps);
+          return std::nullopt;
+        } catch (const std::exception& e) {
+          return std::string("exception: ") + e.what();
+        }
+      });
+}
+
+INSTANTIATE_TEST_SUITE_P(Prop, BuildRoundTrip,
+                         ::testing::ValuesIn(full_sweep()), sweep_name);
+
+}  // namespace
+}  // namespace hcham

@@ -1,0 +1,81 @@
+// Property: the task-parallel tiled H-Cholesky solves the same SPD system
+// as the dense POTRF oracle on the densified kernel matrix (the real 1/d
+// kernel is positive definite), across all scheduler policies and worker
+// counts (with the access-conflict checker armed).
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "bem/testcase.hpp"
+#include "core/tile_h.hpp"
+#include "la/potrf.hpp"
+#include "prop_utils.hpp"
+#include "test_utils.hpp"
+
+namespace hcham {
+namespace {
+
+using bem::FemBemProblem;
+using core::TileHMatrix;
+using core::TileHOptions;
+using rt::Engine;
+using hcham::testing::rel_diff;
+using hcham::testing::prop::check_with_shrink;
+using hcham::testing::prop::full_sweep;
+using hcham::testing::prop::ProblemConfig;
+using hcham::testing::prop::Sweep;
+using hcham::testing::prop::sweep_name;
+
+class CholeskyOracle : public ::testing::TestWithParam<Sweep> {};
+
+TEST_P(CholeskyOracle, TiledHCholeskySolveMatchesDensePotrf) {
+  const Sweep sw = GetParam();
+  Rng rng(sw.seed);
+  check_with_shrink(
+      sw, ProblemConfig::draw(rng),
+      [&sw](const ProblemConfig& c) -> std::optional<std::string> {
+        try {
+          FemBemProblem<double> problem(c.n, 1.0, c.height);
+          auto gen = [&problem](index_t i, index_t j) {
+            return problem.entry(i, j);
+          };
+          Engine eng({.num_workers = sw.workers,
+                      .policy = sw.policy,
+                      .check_conflicts = true});
+          TileHOptions opts;
+          opts.tile_size = c.tile_size;
+          opts.clustering.leaf_size = c.leaf_size;
+          opts.hmatrix.compression.eps = c.eps;
+          auto a = TileHMatrix<double>::build(eng, problem.points(), gen,
+                                              opts);
+          a.factorize_cholesky(eng);
+
+          // Dense POTRF oracle on the exact kernel matrix.
+          la::Matrix<double> dense = problem.dense();
+          auto x_true = la::Matrix<double>::random(c.n, 1, sw.seed + 29);
+          la::Matrix<double> rhs(c.n, 1);
+          la::gemm(la::Op::NoTrans, la::Op::NoTrans, 1.0, dense.cview(),
+                   x_true.cview(), 0.0, rhs.view());
+          if (la::potrf(dense.view()) != 0)
+            return "dense oracle POTRF: matrix not positive definite";
+          la::Matrix<double> x_ref = la::Matrix<double>::from_view(rhs.cview());
+          la::potrs<double>(dense.cview(), x_ref.view());
+
+          la::Matrix<double> x = la::Matrix<double>::from_view(rhs.cview());
+          a.solve_cholesky(eng, x.view());
+          const double err = rel_diff<double>(x.cview(), x_ref.cview());
+          if (!(err < 2e4 * c.eps))
+            return "solution error " + std::to_string(err) + " vs eps " +
+                   std::to_string(c.eps);
+          return std::nullopt;
+        } catch (const std::exception& e) {
+          return std::string("exception: ") + e.what();
+        }
+      });
+}
+
+INSTANTIATE_TEST_SUITE_P(Prop, CholeskyOracle,
+                         ::testing::ValuesIn(full_sweep()), sweep_name);
+
+}  // namespace
+}  // namespace hcham

@@ -1,0 +1,225 @@
+// DAG-ordering properties over randomized task graphs: every execution the
+// engine produces (any policy, any worker count, fuzzed replays) must
+// respect the inferred happens-before order and reproduce the sequential
+// referee's final state exactly.
+//
+// Happens-before is checked with per-cell version counters: STF semantics
+// pin, at submission time, exactly how many writers of a cell precede each
+// task, so every task can assert the versions it observes at run time. A
+// missing R/W or W/W edge shows up as a version violation even when the
+// floating-point result happens to survive.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <optional>
+#include <vector>
+
+#include "prop_utils.hpp"
+#include "runtime/engine.hpp"
+
+namespace hcham {
+namespace {
+
+using rt::Engine;
+using rt::SchedulerPolicy;
+using hcham::testing::prop::check_with_shrink;
+using hcham::testing::prop::full_sweep;
+using hcham::testing::prop::Sweep;
+using hcham::testing::prop::sweep_name;
+
+/// Randomized task plan over shared cells: each step reads up to two cells
+/// and read-modify-writes a target, with the expected cell versions
+/// precomputed from submission order.
+struct DagPlan {
+  struct Step {
+    int reads[2];
+    int num_reads;
+    int target;
+    long expect_reads[2];
+    long expect_target;
+    double coeff;
+  };
+  int num_cells = 0;
+  std::vector<Step> steps;
+
+  static DagPlan draw(Rng& rng, int num_cells, int num_steps) {
+    DagPlan p;
+    p.num_cells = num_cells;
+    std::vector<long> writes(static_cast<std::size_t>(num_cells), 0);
+    for (int t = 0; t < num_steps; ++t) {
+      Step s;
+      s.num_reads = static_cast<int>(rng.uniform_index(3));
+      for (int r = 0; r < s.num_reads; ++r) {
+        s.reads[r] = static_cast<int>(
+            rng.uniform_index(static_cast<std::uint64_t>(num_cells)));
+        s.expect_reads[r] = writes[static_cast<std::size_t>(s.reads[r])];
+      }
+      s.target = static_cast<int>(
+          rng.uniform_index(static_cast<std::uint64_t>(num_cells)));
+      s.expect_target = writes[static_cast<std::size_t>(s.target)];
+      ++writes[static_cast<std::size_t>(s.target)];
+      s.coeff = rng.uniform(0.1, 0.9);
+      p.steps.push_back(s);
+    }
+    return p;
+  }
+};
+
+struct Cell {
+  double value = 1.0;
+  long version = 0;
+};
+
+double updated(double value, double acc, double coeff) {
+  return 0.5 * value + coeff * acc + 1.0;
+}
+
+/// Sequential referee: the STF semantics the engine must reproduce.
+std::vector<double> referee(const DagPlan& plan) {
+  std::vector<double> cells(static_cast<std::size_t>(plan.num_cells), 1.0);
+  for (const DagPlan::Step& s : plan.steps) {
+    double acc = 0;
+    for (int r = 0; r < s.num_reads; ++r)
+      acc += cells[static_cast<std::size_t>(s.reads[r])];
+    double& t = cells[static_cast<std::size_t>(s.target)];
+    t = updated(t, acc, s.coeff);
+  }
+  return cells;
+}
+
+/// Execute the plan on `eng`; returns {final values, version violations}.
+std::pair<std::vector<double>, int> execute(Engine& eng, const DagPlan& plan) {
+  std::vector<rt::Handle> handles;
+  for (int i = 0; i < plan.num_cells; ++i)
+    handles.push_back(eng.register_data());
+  std::vector<Cell> cells(static_cast<std::size_t>(plan.num_cells));
+  std::atomic<int> violations{0};
+  for (const DagPlan::Step& s : plan.steps) {
+    std::vector<rt::Access> acc;
+    for (int r = 0; r < s.num_reads; ++r)
+      acc.push_back(rt::read(handles[static_cast<std::size_t>(s.reads[r])]));
+    acc.push_back(
+        rt::readwrite(handles[static_cast<std::size_t>(s.target)]));
+    eng.submit(
+        [&cells, &violations, &s] {
+          double sum = 0;
+          for (int r = 0; r < s.num_reads; ++r) {
+            const Cell& c = cells[static_cast<std::size_t>(s.reads[r])];
+            if (c.version != s.expect_reads[r]) ++violations;
+            sum += c.value;
+          }
+          Cell& t = cells[static_cast<std::size_t>(s.target)];
+          if (t.version != s.expect_target) ++violations;
+          t.value = updated(t.value, sum, s.coeff);
+          ++t.version;
+        },
+        std::move(acc), static_cast<int>(s.coeff * 10));
+  }
+  eng.wait_all();
+  std::vector<double> values;
+  for (const Cell& c : cells) values.push_back(c.value);
+  return {values, violations.load()};
+}
+
+/// Shrinkable DAG size for the harness.
+struct DagConfig {
+  std::uint64_t seed = 0;
+  int num_cells = 12;
+  int num_steps = 400;
+
+  std::optional<DagConfig> shrunk() const {
+    if (num_steps <= 25) return std::nullopt;
+    DagConfig c = *this;
+    c.num_steps /= 2;
+    c.num_cells = std::max(3, num_cells / 2);
+    return c;
+  }
+  std::string describe() const {
+    std::ostringstream s;
+    s << "cells=" << num_cells << " steps=" << num_steps;
+    return s.str();
+  }
+};
+
+DagPlan plan_of(const DagConfig& cfg) {
+  Rng rng(cfg.seed);
+  return DagPlan::draw(rng, cfg.num_cells, cfg.num_steps);
+}
+
+class DagOrdering : public ::testing::TestWithParam<Sweep> {};
+
+/// Property: any engine execution respects happens-before and matches the
+/// referee bit for bit (per-cell operation order is fixed by STF).
+TEST_P(DagOrdering, RespectsHappensBeforeAndMatchesReferee) {
+  const Sweep sw = GetParam();
+  check_with_shrink(
+      sw, DagConfig{sw.seed, 12, 400},
+      [&sw](const DagConfig& cfg) -> std::optional<std::string> {
+        const DagPlan plan = plan_of(cfg);
+        const std::vector<double> ref = referee(plan);
+        Engine eng({.num_workers = sw.workers,
+                    .policy = sw.policy,
+                    .check_conflicts = true});
+        auto [values, violations] = execute(eng, plan);
+        if (violations != 0)
+          return "happens-before violations: " + std::to_string(violations);
+        for (std::size_t i = 0; i < ref.size(); ++i)
+          if (values[i] != ref[i])
+            return "cell " + std::to_string(i) + " diverged from referee";
+        return std::nullopt;
+      });
+}
+
+INSTANTIATE_TEST_SUITE_P(Prop, DagOrdering, ::testing::ValuesIn(full_sweep()),
+                         sweep_name);
+
+/// Scheduler equivalence: for one randomized plan, Priority, WorkStealing
+/// and LocalityWorkStealing must all respect happens-before and land on the
+/// exact same final state.
+class SchedulerEquivalence
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, int>> {};
+
+TEST_P(SchedulerEquivalence, AllPoliciesProduceIdenticalState) {
+  auto [seed, workers] = GetParam();
+  const DagPlan plan = plan_of(DagConfig{seed, 10, 300});
+  const std::vector<double> ref = referee(plan);
+  for (const SchedulerPolicy policy :
+       {SchedulerPolicy::Priority, SchedulerPolicy::WorkStealing,
+        SchedulerPolicy::LocalityWorkStealing}) {
+    Engine eng({.num_workers = workers,
+                .policy = policy,
+                .check_conflicts = true});
+    auto [values, violations] = execute(eng, plan);
+    EXPECT_EQ(violations, 0)
+        << "policy " << rt::to_string(policy) << " seed " << seed;
+    EXPECT_EQ(values, ref)
+        << "policy " << rt::to_string(policy) << " seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Prop, SchedulerEquivalence,
+    ::testing::Combine(::testing::Values(11u, 22u, 33u),
+                       ::testing::Values(2, 4)));
+
+/// Fuzzed replays: random topological orders the production schedulers
+/// never produce must still satisfy the ordering property.
+class FuzzedOrdering : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzedOrdering, RandomTopologicalOrdersMatchReferee) {
+  const std::uint64_t seed = GetParam();
+  const DagPlan plan = plan_of(DagConfig{seed, 10, 300});
+  const std::vector<double> ref = referee(plan);
+  for (std::uint64_t fuzz = 1; fuzz <= 5; ++fuzz) {
+    Engine eng({.fuzz_schedule = true, .fuzz_seed = fuzz});
+    auto [values, violations] = execute(eng, plan);
+    EXPECT_EQ(violations, 0) << "seed " << seed << " fuzz_seed " << fuzz;
+    EXPECT_EQ(values, ref) << "seed " << seed << " fuzz_seed " << fuzz;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Prop, FuzzedOrdering,
+                         ::testing::Values(101u, 202u, 303u));
+
+}  // namespace
+}  // namespace hcham

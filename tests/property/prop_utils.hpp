@@ -1,0 +1,113 @@
+// Harness for the property-based suite: the (seed, policy, workers) sweep
+// every property runs across, seeded random problem configurations, and
+// greedy seed-replay shrinking. A property is a callable
+//   Cfg -> std::optional<std::string>   (nullopt = pass, diag = failure)
+// so a failing case can be replayed on deterministically shrunk configs;
+// the reported failure always carries the seed + minimal config needed to
+// reproduce it.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "runtime/types.hpp"
+
+namespace hcham::testing::prop {
+
+/// One point of the verification sweep. The gtest parameter name encodes
+/// all three values, so any failure message prints the reproducing seed.
+struct Sweep {
+  std::uint64_t seed;
+  rt::SchedulerPolicy policy;
+  int workers;
+};
+
+inline std::string sweep_name(const ::testing::TestParamInfo<Sweep>& info) {
+  std::ostringstream s;
+  s << "seed" << info.param.seed << "_" << rt::to_string(info.param.policy)
+    << "_w" << info.param.workers;
+  return s.str();
+}
+
+inline void PrintTo(const Sweep& sw, std::ostream* os) {
+  *os << "seed=" << sw.seed << " policy=" << rt::to_string(sw.policy)
+      << " workers=" << sw.workers;
+}
+
+/// seeds x {ws, lws, prio} x {1, 2, 4} workers.
+inline std::vector<Sweep> full_sweep(
+    std::initializer_list<std::uint64_t> seeds = {101, 202, 303}) {
+  std::vector<Sweep> out;
+  for (const std::uint64_t s : seeds)
+    for (const rt::SchedulerPolicy p :
+         {rt::SchedulerPolicy::WorkStealing,
+          rt::SchedulerPolicy::LocalityWorkStealing,
+          rt::SchedulerPolicy::Priority})
+      for (const int w : {1, 2, 4}) out.push_back(Sweep{s, p, w});
+  return out;
+}
+
+/// Random Tile-H problem: geometry, clustering, tile grid, and accuracy
+/// drawn from one Rng, so a seed fully determines the instance.
+struct ProblemConfig {
+  index_t n = 200;
+  double height = 8.0;
+  index_t tile_size = 64;
+  index_t leaf_size = 32;
+  double eps = 1e-7;
+
+  static ProblemConfig draw(Rng& rng) {
+    ProblemConfig c;
+    c.n = 140 + 20 * static_cast<index_t>(rng.uniform_index(8));
+    c.height = rng.uniform(3.0, 18.0);
+    c.tile_size = 40 + 8 * static_cast<index_t>(rng.uniform_index(8));
+    c.leaf_size = 16 + 8 * static_cast<index_t>(rng.uniform_index(3));
+    c.eps = std::pow(10.0, -rng.uniform(6.0, 8.0));
+    return c;
+  }
+
+  /// The next smaller candidate for shrinking, or nullopt at the floor.
+  std::optional<ProblemConfig> shrunk() const {
+    if (n <= 64) return std::nullopt;
+    ProblemConfig c = *this;
+    c.n = std::max<index_t>(64, n / 2);
+    c.tile_size = std::max<index_t>(32, tile_size / 2);
+    c.leaf_size = std::max<index_t>(16, leaf_size / 2);
+    return c;
+  }
+
+  std::string describe() const {
+    std::ostringstream s;
+    s << "n=" << n << " height=" << height << " tile_size=" << tile_size
+      << " leaf_size=" << leaf_size << " eps=" << eps;
+    return s.str();
+  }
+};
+
+/// Run `property` on `cfg`; on failure, greedily replay shrunk configs that
+/// still fail and report the minimal reproducer with its seed.
+template <typename Cfg, typename Fn>
+void check_with_shrink(const Sweep& sw, Cfg cfg, Fn property) {
+  std::optional<std::string> diag = property(cfg);
+  if (!diag) return;
+  Cfg minimal = cfg;
+  for (std::optional<Cfg> next = minimal.shrunk(); next;
+       next = minimal.shrunk()) {
+    std::optional<std::string> d = property(*next);
+    if (!d) break;  // shrunk instance passes: keep the last failing one
+    minimal = *next;
+    diag = std::move(d);
+  }
+  ADD_FAILURE() << "property failed; reproduce with seed=" << sw.seed
+                << " policy=" << rt::to_string(sw.policy)
+                << " workers=" << sw.workers << " {" << minimal.describe()
+                << "}: " << *diag;
+}
+
+}  // namespace hcham::testing::prop

@@ -271,6 +271,38 @@ TEST(Runtime, TaskExceptionSurfacesFromWorkerPool) {
   EXPECT_EQ(others.load(), 20);  // the rest of the graph still drained
 }
 
+TEST(Runtime, TaskErrorIsRethrownExactlyOnce) {
+  Engine eng({.num_workers = 2});
+  auto h = eng.register_data();
+  std::atomic<int> after{0};
+  eng.submit([] { throw std::runtime_error("boom"); }, {readwrite(h)});
+  for (int i = 0; i < 10; ++i)
+    eng.submit([&after] { ++after; }, {readwrite(h)});
+  EXPECT_THROW(eng.wait_all(), std::runtime_error);
+  EXPECT_EQ(after.load(), 10);  // dependents drained despite the failure
+  // The error was consumed: an empty follow-up epoch must not rethrow it.
+  EXPECT_NO_THROW(eng.wait_all());
+  // And the engine stays usable for a subsequent epoch.
+  int x = 0;
+  eng.submit([&x] { x = 5; }, {readwrite(h)});
+  EXPECT_NO_THROW(eng.wait_all());
+  EXPECT_EQ(x, 5);
+}
+
+TEST(Runtime, OnlyFirstOfMultipleTaskErrorsSurfaces) {
+  Engine eng;  // one worker: deterministic execution order
+  auto h = eng.register_data();
+  eng.submit([] { throw std::runtime_error("first"); }, {readwrite(h)});
+  eng.submit([] { throw std::logic_error("second"); }, {readwrite(h)});
+  try {
+    eng.wait_all();
+    FAIL() << "expected the first task error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "first");
+  }
+  EXPECT_NO_THROW(eng.wait_all());  // the second error is not queued up
+}
+
 TEST(Runtime, EngineUsableAfterTaskFailure) {
   Engine eng({.num_workers = 2});
   auto h = eng.register_data();
