@@ -10,17 +10,110 @@
 //   HCHAM_WORKERS      real worker threads for measured runs (default 1)
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bem/testcase.hpp"
 #include "common/env.hpp"
+#include "common/json.hpp"
 #include "common/timer.hpp"
 #include "core/hchameleon.hpp"
 #include "runtime/simulator.hpp"
 
 namespace hcham::bench {
+
+// ---------------------------------------------------------------------------
+// Machine-readable benchmark output (BENCH_*.json). Schema documented in
+// EXPERIMENTS.md: {"git_rev": "...", "records": [{"name", "size", "reps",
+// "median_s", "min_s", "gflops"}, ...]}. CI uploads these files as artifacts
+// and compares kernels across revisions.
+
+struct BenchRecord {
+  std::string name;    ///< kernel + variant, e.g. "gemm_blocked_d"
+  index_t size = 0;    ///< characteristic dimension (n, or m for tall ops)
+  int reps = 0;        ///< timed repetitions behind the statistics
+  double median_s = 0; ///< median wall time per repetition
+  double min_s = 0;    ///< fastest repetition
+  double gflops = 0;   ///< flops / median_s / 1e9 (0 when flops are undefined)
+};
+
+/// Git revision stamped into every result file: HCHAM_GIT_REV when set (CI
+/// passes it), otherwise whatever `git rev-parse` says, otherwise "unknown".
+inline std::string bench_git_rev() {
+  if (const char* e = std::getenv("HCHAM_GIT_REV"); e && *e) return e;
+  std::string rev;
+  if (FILE* p = popen("git rev-parse --short HEAD 2>/dev/null", "r")) {
+    char buf[64];
+    if (fgets(buf, sizeof buf, p)) rev = buf;
+    pclose(p);
+  }
+  while (!rev.empty() && (rev.back() == '\n' || rev.back() == '\r'))
+    rev.pop_back();
+  return rev.empty() ? "unknown" : rev;
+}
+
+class BenchJson {
+ public:
+  void add(BenchRecord r) { records_.push_back(std::move(r)); }
+
+  const std::vector<BenchRecord>& records() const { return records_; }
+
+  /// Find a record by (name, size); nullptr when absent.
+  const BenchRecord* find(const std::string& name, index_t size) const {
+    for (const BenchRecord& r : records_)
+      if (r.name == name && r.size == size) return &r;
+    return nullptr;
+  }
+
+  bool write(const std::string& path) const {
+    FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) return false;
+    std::fprintf(f, "{\n  \"git_rev\": \"%s\",\n  \"records\": [\n",
+                 json_escape(bench_git_rev()).c_str());
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      const BenchRecord& r = records_[i];
+      std::fprintf(f,
+                   "    {\"name\": \"%s\", \"size\": %ld, \"reps\": %d, "
+                   "\"median_s\": %.6e, \"min_s\": %.6e, \"gflops\": %.3f}%s\n",
+                   json_escape(r.name).c_str(), static_cast<long>(r.size),
+                   r.reps, r.median_s, r.min_s, r.gflops,
+                   i + 1 < records_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  std::vector<BenchRecord> records_;
+};
+
+/// Time `fn` reps times and build the record. flops = 0 skips the GFLOP/s
+/// rate (reported as 0).
+template <typename Fn>
+BenchRecord bench_time(std::string name, index_t size, double flops, int reps,
+                       Fn&& fn) {
+  std::vector<double> times;
+  times.reserve(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    Timer t;
+    fn();
+    times.push_back(t.seconds());
+  }
+  std::sort(times.begin(), times.end());
+  BenchRecord rec;
+  rec.name = std::move(name);
+  rec.size = size;
+  rec.reps = reps;
+  rec.median_s = times[times.size() / 2];
+  rec.min_s = times.front();
+  rec.gflops = flops > 0 ? flops / rec.median_s / 1e9 : 0.0;
+  return rec;
+}
 
 inline double bench_scale() { return env_double("HCHAM_BENCH_SCALE", 1.0); }
 inline double bench_eps() { return env_double("HCHAM_EPS", 1e-4); }

@@ -10,9 +10,16 @@
 // Expected shapes: HMAT ahead at 1-3 threads; Tile-H scales better and
 // catches up (real case: overtakes) at high thread counts; prio generally
 // best among the Tile-H schedulers.
+// Besides the CSV series, sequential H-LU wall times are appended to
+// BENCH_lu.json (override with HCHAM_BENCH_JSON; schema: EXPERIMENTS.md) so
+// CI can track the end-to-end effect of dense-kernel changes.
 #include "bench_common.hpp"
 
 using namespace hcham;
+
+namespace {
+bench::BenchJson g_json;
+}
 
 template <typename T>
 void run(const std::vector<index_t>& ns) {
@@ -21,6 +28,10 @@ void run(const std::vector<index_t>& ns) {
     const index_t nb = bench::default_tile_size(n);
     auto tileh = bench::measure_tileh_lu<T>(n, nb, eps);
     auto hm = bench::measure_hmat_lu<T>(n, eps);
+    g_json.add({std::string("tileh_lu_seq_") + precision_tag<T>(), n, 1,
+                tileh.seq_time_s, tileh.seq_time_s, 0.0});
+    g_json.add({std::string("hmat_lu_seq_") + precision_tag<T>(), n, 1,
+                hm.seq_time_s, hm.seq_time_s, 0.0});
     std::printf("# %s N=%ld NB=%ld: tile-h %ld tasks/%ld deps (seq %.2fs), "
                 "hmat %ld tasks/%ld deps (seq %.2fs)\n",
                 precision_tag<T>(), n, nb, tileh.tasks, tileh.edges,
@@ -50,5 +61,11 @@ int main() {
                bench::scaled(4000)});
   run<std::complex<double>>({bench::scaled(1000), bench::scaled(2000),
                              bench::scaled(4000)});
+  const std::string out = env_string("HCHAM_BENCH_JSON", "BENCH_lu.json");
+  if (!g_json.write(out)) {
+    std::fprintf(stderr, "error: cannot write %s\n", out.c_str());
+    return 2;
+  }
+  std::fprintf(stderr, "# wrote %s\n", out.c_str());
   return 0;
 }

@@ -1,114 +1,198 @@
-// Micro-benchmarks of the dense substrate (the MKL replacement): GEMM,
-// TRSM, GETRF, QR, SVD, and ACA across sizes. google-benchmark harness.
-#include <benchmark/benchmark.h>
+// Micro-benchmarks of the dense substrate (the MKL replacement): the packed
+// register-tiled GEMM engine vs the reference kernel across sizes, shapes,
+// op combinations, and scalar types, plus TRSM / GETRF / QR / ACA riding on
+// the engine. Emits BENCH_kernels.json (schema: EXPERIMENTS.md) and prints
+// a human-readable table.
+//
+// Usage: kernels_micro [--smoke] [--out=PATH]
+//   --smoke    trimmed sweep for CI (still covers blocked-vs-reference at
+//              n = 512 and n = 1024)
+//   --out=PATH result file (default BENCH_kernels.json)
+//
+// Exit status is nonzero if the blocked double GEMM is slower than the
+// reference kernel at n = 512 — the regression gate CI runs on every push.
+#include <complex>
+#include <cstring>
+#include <string>
+#include <vector>
 
+#include "bench_common.hpp"
 #include "la/la.hpp"
 #include "rk/aca.hpp"
 
 using namespace hcham;
 
-static void BM_Gemm(benchmark::State& state) {
-  const index_t n = state.range(0);
-  auto a = la::Matrix<double>::random(n, n, 1);
-  auto b = la::Matrix<double>::random(n, n, 2);
-  la::Matrix<double> c(n, n);
-  for (auto _ : state) {
-    la::gemm(la::Op::NoTrans, la::Op::NoTrans, 1.0, a.cview(), b.cview(),
-             0.0, c.view());
-    benchmark::DoNotOptimize(c.data());
-  }
-  state.counters["GFLOP/s"] = benchmark::Counter(
-      2.0 * static_cast<double>(n) * static_cast<double>(n) *
-          static_cast<double>(n) * static_cast<double>(state.iterations()) /
-          1e9,
-      benchmark::Counter::kIsRate);
-}
-BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+namespace {
 
-static void BM_GemmComplex(benchmark::State& state) {
-  using Z = std::complex<double>;
-  const index_t n = state.range(0);
-  auto a = la::Matrix<Z>::random(n, n, 1);
-  auto b = la::Matrix<Z>::random(n, n, 2);
-  la::Matrix<Z> c(n, n);
-  for (auto _ : state) {
-    la::gemm(la::Op::NoTrans, la::Op::NoTrans, Z(1), a.cview(), b.cview(),
-             Z(0), c.view());
-    benchmark::DoNotOptimize(c.data());
-  }
-}
-BENCHMARK(BM_GemmComplex)->Arg(64)->Arg(256);
+bench::BenchJson g_json;
 
-static void BM_Trsm(benchmark::State& state) {
-  const index_t n = state.range(0);
-  auto a = la::Matrix<double>::random(n, n, 3);
-  for (index_t i = 0; i < n; ++i) a(i, i) += 4.0;
-  auto b = la::Matrix<double>::random(n, n, 4);
-  for (auto _ : state) {
-    auto x = la::Matrix<double>::from_view(b.cview());
-    la::trsm(la::Side::Left, la::Uplo::Lower, la::Op::NoTrans,
-             la::Diag::Unit, 1.0, a.cview(), x.view());
-    benchmark::DoNotOptimize(x.data());
+void report(const bench::BenchRecord& r) {
+  std::printf("%-24s n=%-6ld reps=%d  median %.3e s  min %.3e s  %8.2f GF/s\n",
+              r.name.c_str(), static_cast<long>(r.size), r.reps, r.median_s,
+              r.min_s, r.gflops);
+  g_json.add(r);
+}
+
+/// GEMM timing for one scalar type: blocked engine vs reference kernel.
+template <typename T>
+void gemm_pair(const char* tag, index_t m, index_t n, index_t k, int reps,
+               bool also_reference, la::Op opa = la::Op::NoTrans,
+               la::Op opb = la::Op::NoTrans, const char* suffix = "") {
+  const index_t am = opa == la::Op::NoTrans ? m : k;
+  const index_t an = opa == la::Op::NoTrans ? k : m;
+  const index_t bm = opb == la::Op::NoTrans ? k : n;
+  const index_t bn = opb == la::Op::NoTrans ? n : k;
+  auto a = la::Matrix<T>::random(am, an, 1);
+  auto b = la::Matrix<T>::random(bm, bn, 2);
+  la::Matrix<T> c(m, n);
+  // Complex multiplies cost 4x a real one (the 1m engine runs 2m x k x 2n
+  // real flops; the conventional count is 8mnk vs 2mnk).
+  const double flops = (is_complex_v<T> ? 8.0 : 2.0) *
+                       static_cast<double>(m) * static_cast<double>(n) *
+                       static_cast<double>(k);
+  report(bench::bench_time(
+      std::string("gemm_blocked_") + tag + suffix, n, flops, reps, [&] {
+        la::gemm_blocked<T>(opa, opb, T{1}, a.cview(), b.cview(), T{},
+                            c.view());
+      }));
+  if (also_reference) {
+    report(bench::bench_time(
+        std::string("gemm_reference_") + tag + suffix, n, flops, reps, [&] {
+          la::gemm_reference<T>(opa, opb, T{1}, a.cview(), b.cview(), T{},
+                                c.view());
+        }));
   }
 }
-BENCHMARK(BM_Trsm)->Arg(128)->Arg(512);
 
-static void BM_GetrfNopiv(benchmark::State& state) {
-  const index_t n = state.range(0);
-  auto a = la::Matrix<double>::random(n, n, 5);
-  for (index_t i = 0; i < n; ++i) a(i, i) += static_cast<double>(n);
-  for (auto _ : state) {
-    auto lu = la::Matrix<double>::from_view(a.cview());
-    benchmark::DoNotOptimize(la::getrf_nopiv(lu.view()));
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out = "BENCH_kernels.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    else if (std::strncmp(argv[i], "--out=", 6) == 0) out = argv[i] + 6;
+    else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--out=PATH]\n", argv[0]);
+      return 2;
+    }
   }
-}
-BENCHMARK(BM_GetrfNopiv)->Arg(128)->Arg(512);
+  const int reps = smoke ? 3 : 5;
+  std::printf("# kernels_micro%s (git %s)\n", smoke ? " --smoke" : "",
+              bench::bench_git_rev().c_str());
 
-static void BM_GetrfPivoted(benchmark::State& state) {
-  const index_t n = state.range(0);
-  auto a = la::Matrix<double>::random(n, n, 6);
-  std::vector<index_t> ipiv(static_cast<std::size_t>(n));
-  for (auto _ : state) {
-    auto lu = la::Matrix<double>::from_view(a.cview());
-    benchmark::DoNotOptimize(la::getrf(lu.view(), ipiv.data()));
+  // Square double GEMM, blocked vs reference. 512 is the CI regression gate
+  // and 1024 the acceptance point, so both run even in smoke mode.
+  const std::vector<index_t> dsizes =
+      smoke ? std::vector<index_t>{256, 512, 1024}
+            : std::vector<index_t>{64, 128, 256, 512, 1024};
+  for (const index_t n : dsizes) gemm_pair<double>("d", n, n, n, reps, true);
+
+  // Complex double (the 1m engine) and float.
+  const std::vector<index_t> zsizes = smoke ? std::vector<index_t>{512}
+                                            : std::vector<index_t>{128, 256, 512};
+  for (const index_t n : zsizes) {
+    gemm_pair<std::complex<double>>("z", n, n, n, reps, true);
+    gemm_pair<float>("s", n, n, n, reps, true);
   }
-}
-BENCHMARK(BM_GetrfPivoted)->Arg(128)->Arg(512);
 
-static void BM_QrThin(benchmark::State& state) {
-  const index_t m = state.range(0);
-  auto a = la::Matrix<double>::random(m, 32, 7);
-  for (auto _ : state) {
-    la::Matrix<double> q, r;
-    la::qr_thin<double>(a.cview(), q, r);
-    benchmark::DoNotOptimize(q.data());
+  // Transpose/conjugate op combinations (packing-path coverage).
+  if (!smoke) {
+    const la::Op ops[3] = {la::Op::NoTrans, la::Op::Trans, la::Op::ConjTrans};
+    const char* names = "NTC";
+    for (int ia = 0; ia < 3; ++ia)
+      for (int ib = 0; ib < 3; ++ib) {
+        const std::string suffix =
+            std::string("_") + names[ia] + names[ib];
+        gemm_pair<double>("d", 256, 256, 256, reps, false, ops[ia], ops[ib],
+                          suffix.c_str());
+      }
   }
-}
-BENCHMARK(BM_QrThin)->Arg(256)->Arg(1024);
 
-static void BM_SvdJacobi(benchmark::State& state) {
-  const index_t n = state.range(0);
-  auto a = la::Matrix<double>::random(n, n, 8);
-  for (auto _ : state) {
-    auto r = la::svd<double>(a.cview());
-    benchmark::DoNotOptimize(r.sigma.data());
+  // Skinny shapes: the rank-k updates and tall-thin panels H-arithmetic
+  // actually issues.
+  if (!smoke) {
+    gemm_pair<double>("d", 1024, 1024, 32, reps, true, la::Op::NoTrans,
+                      la::Op::NoTrans, "_rank32");
+    gemm_pair<double>("d", 1024, 32, 1024, reps, true, la::Op::NoTrans,
+                      la::Op::NoTrans, "_thin_n");
+    gemm_pair<double>("d", 32, 1024, 1024, reps, true, la::Op::NoTrans,
+                      la::Op::NoTrans, "_thin_m");
   }
-}
-BENCHMARK(BM_SvdJacobi)->Arg(32)->Arg(64)->Arg(128);
 
-static void BM_AcaPartial(benchmark::State& state) {
-  const index_t m = state.range(0);
-  // Smooth low-rank kernel block.
-  auto gen = [m](index_t i, index_t j) {
-    const double x = static_cast<double>(i) / static_cast<double>(m);
-    const double y = 2.0 + static_cast<double>(j) / static_cast<double>(m);
-    return 1.0 / (x + y);
-  };
-  for (auto _ : state) {
-    auto r = rk::aca_partial<double>(gen, m, m, 1e-6);
-    benchmark::DoNotOptimize(r.rank());
+  // Consumers of the engine.
+  {
+    const index_t n = smoke ? 512 : 1024;
+    auto a = la::Matrix<double>::random(n, n, 3);
+    for (index_t i = 0; i < n; ++i) a(i, i) += 4.0;
+    auto b0 = la::Matrix<double>::random(n, n, 4);
+    report(bench::bench_time("trsm_lln_d", n, static_cast<double>(n) *
+                                                  static_cast<double>(n) *
+                                                  static_cast<double>(n),
+                             reps, [&] {
+                               auto x = la::Matrix<double>::from_view(b0.cview());
+                               la::trsm(la::Side::Left, la::Uplo::Lower,
+                                        la::Op::NoTrans, la::Diag::Unit, 1.0,
+                                        a.cview(), x.view());
+                             }));
+    auto g = la::Matrix<double>::random(n, n, 5);
+    for (index_t i = 0; i < n; ++i) g(i, i) += static_cast<double>(n);
+    report(bench::bench_time(
+        "getrf_nopiv_d", n,
+        2.0 / 3.0 * static_cast<double>(n) * static_cast<double>(n) *
+            static_cast<double>(n),
+        reps, [&] {
+          auto lu = la::Matrix<double>::from_view(g.cview());
+          la::getrf_nopiv(lu.view());
+        }));
+    const index_t qm = n;
+    const index_t qn = smoke ? 64 : 256;
+    auto q0 = la::Matrix<double>::random(qm, qn, 7);
+    report(bench::bench_time(
+        "qr_thin_d", qm,
+        2.0 * static_cast<double>(qm) * static_cast<double>(qn) *
+            static_cast<double>(qn),
+        reps, [&] {
+          la::Matrix<double> q, r;
+          la::qr_thin<double>(q0.cview(), q, r);
+        }));
+    const index_t am = smoke ? 512 : 1024;
+    auto gen = [am](index_t i, index_t j) {
+      const double x = static_cast<double>(i) / static_cast<double>(am);
+      const double y = 2.0 + static_cast<double>(j) / static_cast<double>(am);
+      return 1.0 / (x + y);
+    };
+    report(bench::bench_time("aca_partial_d", am, 0.0, reps, [&] {
+      auto r = rk::aca_partial<double>(gen, am, am, 1e-6);
+      if (r.rank() < 0) std::abort();  // keep the result observable
+    }));
   }
-}
-BENCHMARK(BM_AcaPartial)->Arg(256)->Arg(1024);
 
-BENCHMARK_MAIN();
+  if (!g_json.write(out)) {
+    std::fprintf(stderr, "error: cannot write %s\n", out.c_str());
+    return 2;
+  }
+  std::printf("# wrote %s (%zu records)\n", out.c_str(),
+              g_json.records().size());
+
+  // Regression gate: the blocked engine must beat the reference at n = 512.
+  const bench::BenchRecord* blocked = g_json.find("gemm_blocked_d", 512);
+  const bench::BenchRecord* reference = g_json.find("gemm_reference_d", 512);
+  if (!blocked || !reference) {
+    std::fprintf(stderr, "error: n=512 gemm records missing from sweep\n");
+    return 2;
+  }
+  if (blocked->gflops < reference->gflops) {
+    std::fprintf(stderr,
+                 "FAIL: blocked GEMM (%.2f GF/s) slower than reference "
+                 "(%.2f GF/s) at n=512\n",
+                 blocked->gflops, reference->gflops);
+    return 1;
+  }
+  std::printf("# gate ok: blocked %.2f GF/s >= reference %.2f GF/s at n=512 "
+              "(%.2fx at n=1024)\n",
+              blocked->gflops, reference->gflops,
+              g_json.find("gemm_blocked_d", 1024)->gflops /
+                  g_json.find("gemm_reference_d", 1024)->gflops);
+  return 0;
+}

@@ -54,3 +54,15 @@ namespace detail {
 constexpr index_t ceil_div(index_t a, index_t b) { return (a + b - 1) / b; }
 
 }  // namespace hcham
+
+// No-alias hint for the packed kernel hot loops (all mainstream compilers
+// accept __restrict; fall back to nothing elsewhere).
+#if defined(__GNUC__) || defined(__clang__) || defined(_MSC_VER)
+#define HCHAM_RESTRICT __restrict
+#else
+#define HCHAM_RESTRICT
+#endif
+
+namespace hcham {
+
+}  // namespace hcham

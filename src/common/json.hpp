@@ -1,0 +1,41 @@
+// Minimal JSON string escaping shared by every emitter in the tree (trace
+// export, benchmark result files). Escapes the two characters JSON requires
+// (backslash, double quote) plus all control characters below 0x20, using
+// the short forms where they exist and \u00XX otherwise.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace hcham {
+
+inline std::string json_escape(std::string_view s) {
+  static const char* hex = "0123456789abcdef";
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default: {
+        const auto u = static_cast<std::uint8_t>(c);
+        if (u < 0x20) {
+          out += "\\u00";
+          out += hex[u >> 4];
+          out += hex[u & 0xf];
+        } else {
+          out += c;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace hcham

@@ -1,15 +1,20 @@
 // General matrix-matrix product: C = alpha * op(A) * op(B) + beta * C.
 //
-// The kernel is organised for column-major data: the NoTrans(A) paths update
-// whole columns of C with axpy-style inner loops (contiguous streams), the
-// Trans(A) paths reduce down contiguous columns of A. A k-blocking keeps the
-// working set of the dominant NN case inside L2.
+// Two execution paths share the BLAS semantics:
+//  * gemm_reference -- the original axpy/dot-style loops organised for
+//    column-major data with a k-blocking; near-zero per-call overhead, used
+//    for tiny and extremely skinny products.
+//  * gemm_blocked (gemm_blocked.hpp) -- the packed register-tiled engine
+//    used for everything large enough to amortise packing.
+// `gemm` dispatches between them via gemm_prefers_blocked(); the threshold
+// is env-tunable (HCHAM_GEMM_MIN_FLOPS) and measured in bench/kernels_micro.
 #pragma once
 
 #include <type_traits>
 
 #include "common/scalar.hpp"
 #include "la/blas_defs.hpp"
+#include "la/gemm_blocked.hpp"
 #include "la/view.hpp"
 
 namespace hcham::la {
@@ -28,17 +33,6 @@ inline T op_at(ConstMatrixView<T> a, Op op, index_t i, index_t j) {
   return T{};
 }
 
-template <typename T>
-void scale_inplace(MatrixView<T> c, T beta) {
-  if (beta == T{1}) return;
-  if (beta == T{}) {
-    c.set_zero();
-    return;
-  }
-  for (index_t j = 0; j < c.cols(); ++j)
-    for (index_t i = 0; i < c.rows(); ++i) c(i, j) *= beta;
-}
-
 }  // namespace detail
 
 /// Logical dimensions of op(A).
@@ -51,10 +45,14 @@ inline index_t op_cols(ConstMatrixView<T> a, Op op) {
   return op == Op::NoTrans ? a.cols() : a.rows();
 }
 
+/// Reference GEMM: the axpy/dot-style loops. Kept both as the dispatch
+/// target for tiny/skinny shapes and as the oracle the blocked engine is
+/// tested against.
 template <typename T>
-void gemm(Op opa, Op opb, T alpha, std::type_identity_t<ConstMatrixView<T>> a,
-          std::type_identity_t<ConstMatrixView<T>> b, T beta,
-          MatrixView<T> c) {
+void gemm_reference(Op opa, Op opb, T alpha,
+                    std::type_identity_t<ConstMatrixView<T>> a,
+                    std::type_identity_t<ConstMatrixView<T>> b, T beta,
+                    MatrixView<T> c) {
   const index_t m = c.rows();
   const index_t n = c.cols();
   const index_t k = op_cols(a, opa);
@@ -104,6 +102,20 @@ void gemm(Op opa, Op opb, T alpha, std::type_identity_t<ConstMatrixView<T>> a,
       }
       c(i, j) += alpha * acc;
     }
+  }
+}
+
+/// C = alpha * op(A) * op(B) + beta * C, dispatching between the packed
+/// register-tiled engine and the reference loops by problem shape.
+template <typename T>
+void gemm(Op opa, Op opb, T alpha, std::type_identity_t<ConstMatrixView<T>> a,
+          std::type_identity_t<ConstMatrixView<T>> b, T beta,
+          MatrixView<T> c) {
+  const index_t k = op_cols(a, opa);
+  if (gemm_prefers_blocked<T>(c.rows(), c.cols(), k)) {
+    gemm_blocked<T>(opa, opb, alpha, a, b, beta, c);
+  } else {
+    gemm_reference<T>(opa, opb, alpha, a, b, beta, c);
   }
 }
 

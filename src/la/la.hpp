@@ -3,6 +3,7 @@
 
 #include "la/blas_defs.hpp"   // IWYU pragma: export
 #include "la/gemm.hpp"        // IWYU pragma: export
+#include "la/gemm_blocked.hpp"  // IWYU pragma: export
 #include "la/getrf.hpp"       // IWYU pragma: export
 #include "la/matrix.hpp"      // IWYU pragma: export
 #include "la/norms.hpp"       // IWYU pragma: export

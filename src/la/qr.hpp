@@ -5,9 +5,16 @@
 //   H(i) = I - tau_i * v_i * v_i^H,  v_i = (1; stored below the diagonal),
 // H(i) is unitary, H(i)^H maps the working column to beta * e1 with beta
 // real, the factorization applies H^H so that A <- R, and Q = H(1)...H(k).
+//
+// geqrf is blocked for wide trailing updates: reflectors are accumulated a
+// panel (HCHAM_QR_NB columns) at a time into the compact WY form
+// Q = I - V T V^H (xLARFT), and the trailing matrix is updated with three
+// GEMMs (xLARFB) so the bulk of the flops runs on the packed register-tiled
+// engine.
 #pragma once
 
 #include <cmath>
+#include <utility>
 #include <vector>
 
 #include "common/scalar.hpp"
@@ -65,21 +72,108 @@ void apply_reflector(const T* vtail, index_t m, T tau, bool conj_tau,
   }
 }
 
-}  // namespace detail
-
-/// Householder QR in place: on exit the upper triangle of A holds R and the
-/// reflectors are stored below the diagonal. tau must hold min(m, n) entries.
+/// Unblocked in-place QR of a (reflectors below the diagonal, R above).
 template <typename T>
-void geqrf(MatrixView<T> a, T* tau) {
+void geqrf_unblocked(MatrixView<T> a, T* tau) {
   const index_t m = a.rows();
   const index_t n = a.cols();
   const index_t k = m < n ? m : n;
   for (index_t j = 0; j < k; ++j) {
-    detail::larfg(m - j, a(j, j), &a(j + 1 < m ? j + 1 : j, j), tau[j]);
+    larfg(m - j, a(j, j), &a(j + 1 < m ? j + 1 : j, j), tau[j]);
     if (j + 1 < n) {
-      detail::apply_reflector(m - j > 1 ? &a(j + 1, j) : nullptr, m - j,
-                              tau[j], /*conj_tau=*/true,
-                              a.block(j, j + 1, m - j, n - j - 1));
+      apply_reflector(m - j > 1 ? &a(j + 1, j) : nullptr, m - j, tau[j],
+                      /*conj_tau=*/true, a.block(j, j + 1, m - j, n - j - 1));
+    }
+  }
+}
+
+/// Build the compact-WY triangular factor T (forward, columnwise storage,
+/// xLARFT): Q = H(1)...H(k) = I - V T V^H. v holds the panel as produced by
+/// geqrf_unblocked (reflector tails below the diagonal; the diagonal/upper
+/// part holds R and is read as the implicit unit diagonal). t is k x k; only
+/// its upper triangle is written, the rest is zeroed.
+template <typename T>
+void larft(ConstMatrixView<T> v, const T* tau, MatrixView<T> t) {
+  const index_t m = v.rows();
+  const index_t k = v.cols();
+  for (index_t j = 0; j < k; ++j)
+    for (index_t i = 0; i < k; ++i) t(i, j) = T{};
+  for (index_t i = 0; i < k; ++i) {
+    const T ti = tau[i];
+    if (ti == T{}) continue;  // H(i) = I; the column stays zero.
+    // t(0:i, i) = -tau_i * V(i:m, 0:i)^H * v_i, with v_i = (1; tail).
+    for (index_t j = 0; j < i; ++j) {
+      T acc = conj_if(v(i, j));  // v_i(i) = 1 implicit
+      const T* vj = v.col(j);
+      const T* vi = v.col(i);
+      for (index_t l = i + 1; l < m; ++l) acc += conj_if(vj[l]) * vi[l];
+      t(j, i) = -ti * acc;
+    }
+    // t(0:i, i) = T(0:i, 0:i) * t(0:i, i), an upper-triangular matvec done
+    // in place: row j only reads entries l >= j, so ascending j is safe.
+    for (index_t j = 0; j < i; ++j) {
+      T acc{};
+      for (index_t l = j; l < i; ++l) acc += t(j, l) * t(l, i);
+      t(j, i) = acc;
+    }
+    t(i, i) = ti;
+  }
+}
+
+/// Apply Q^H = I - V T^H V^H from the left (xLARFB, forward/columnwise):
+/// C <- C - V * (T^H * (V^H * C)) via three GEMMs. v is the m x k unit
+/// lower-trapezoidal reflector block with an explicit unit diagonal and
+/// explicit zeros above it; t is the k x k factor from larft.
+template <typename T>
+void larfb_left_ctrans(ConstMatrixView<T> v, ConstMatrixView<T> t,
+                       MatrixView<T> c) {
+  const index_t k = v.cols();
+  const index_t n = c.cols();
+  Matrix<T> w(k, n);
+  gemm(Op::ConjTrans, Op::NoTrans, T{1}, v, ConstMatrixView<T>(c), T{},
+       w.view());
+  Matrix<T> w2(k, n);
+  gemm(Op::ConjTrans, Op::NoTrans, T{1}, t, w.cview(), T{}, w2.view());
+  gemm(Op::NoTrans, Op::NoTrans, T{-1}, v, w2.cview(), T{1}, c);
+}
+
+}  // namespace detail
+
+/// Householder QR in place: on exit the upper triangle of A holds R and the
+/// reflectors are stored below the diagonal. tau must hold min(m, n) entries.
+/// Wide problems are processed a panel at a time with blocked (compact-WY)
+/// trailing updates; nb defaults to HCHAM_QR_NB.
+template <typename T>
+void geqrf(MatrixView<T> a, T* tau, index_t nb = kernel_tuning().qr_nb) {
+  const index_t m = a.rows();
+  const index_t n = a.cols();
+  const index_t k = m < n ? m : n;
+  if (k <= nb || n <= nb + nb / 2) {
+    detail::geqrf_unblocked(a, tau);
+    return;
+  }
+  Matrix<T> t(nb, nb);
+  Matrix<T> vfull(m, nb);
+  for (index_t j = 0; j < k; j += nb) {
+    const index_t jb = std::min(nb, k - j);
+    MatrixView<T> panel = a.block(j, j, m - j, jb);
+    detail::geqrf_unblocked(panel, tau + j);
+    if (j + jb < n) {
+      detail::larft(ConstMatrixView<T>(panel), tau + j,
+                    t.block(0, 0, jb, jb));
+      // Materialize V with explicit unit diagonal / zero upper triangle so
+      // the update can run as plain GEMMs.
+      MatrixView<T> v = vfull.block(0, 0, m - j, jb);
+      for (index_t jj = 0; jj < jb; ++jj) {
+        T* vj = v.col(jj);
+        for (index_t i = 0; i < jj; ++i) vj[i] = T{};
+        vj[jj] = T{1};
+        const T* pj = panel.col(jj);
+        for (index_t i = jj + 1; i < m - j; ++i) vj[i] = pj[i];
+      }
+      detail::larfb_left_ctrans(ConstMatrixView<T>(v),
+                                std::as_const(t).block(0, 0, jb, jb),
+                                a.block(j, j + jb, m - j, n - j - jb));
     }
   }
 }

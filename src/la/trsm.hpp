@@ -4,6 +4,12 @@
 // X overwrites B. All side/uplo/op/diag combinations are supported; the
 // tiled H-LU uses (Left, Lower, NoTrans, Unit) and (Right, Upper, NoTrans,
 // NonUnit), matching lines 4 and 7 of the paper's Algorithm 1.
+//
+// Large solves are blocked: the triangular matrix is partitioned into
+// nb x nb diagonal blocks (HCHAM_BLAS_NB), each solved with the scalar
+// substitution loops, and the trailing right-hand sides are updated with one
+// block-outer-product GEMM per step, so the bulk of the flops runs through
+// the packed register-tiled engine.
 #pragma once
 
 #include <type_traits>
@@ -18,8 +24,8 @@ namespace hcham::la {
 namespace detail {
 
 template <typename T>
-void trsm_left(Uplo uplo, Op op, Diag diag, T alpha, ConstMatrixView<T> a,
-               MatrixView<T> b) {
+void trsm_left_unblocked(Uplo uplo, Op op, Diag diag, T alpha,
+                         ConstMatrixView<T> a, MatrixView<T> b) {
   const index_t m = b.rows();
   const index_t n = b.cols();
   const bool unit = (diag == Diag::Unit);
@@ -80,8 +86,8 @@ void trsm_left(Uplo uplo, Op op, Diag diag, T alpha, ConstMatrixView<T> a,
 }
 
 template <typename T>
-void trsm_right(Uplo uplo, Op op, Diag diag, T alpha, ConstMatrixView<T> a,
-                MatrixView<T> b) {
+void trsm_right_unblocked(Uplo uplo, Op op, Diag diag, T alpha,
+                          ConstMatrixView<T> a, MatrixView<T> b) {
   const index_t m = b.rows();
   const index_t n = b.cols();
   const bool unit = (diag == Diag::Unit);
@@ -124,18 +130,101 @@ void trsm_right(Uplo uplo, Op op, Diag diag, T alpha, ConstMatrixView<T> a,
   }
 }
 
+/// Blocked left solve: partition op(A) into nb x nb diagonal blocks, solve
+/// each with the substitution loops, and push the block-outer-product update
+/// of the remaining rows of B through gemm (right-looking).
+template <typename T>
+void trsm_left_blocked(Uplo uplo, Op op, Diag diag, ConstMatrixView<T> a,
+                       MatrixView<T> b, index_t nb) {
+  const index_t m = b.rows();
+  const index_t n = b.cols();
+  // M = op(A) is lower-triangular iff the op preserves the stored triangle.
+  const bool m_lower = (op == Op::NoTrans) == (uplo == Uplo::Lower);
+  const index_t nblocks = ceil_div(m, nb);
+  for (index_t bi = 0; bi < nblocks; ++bi) {
+    // Lower-triangular M solves forward, upper-triangular backward.
+    const index_t kblk = m_lower ? bi : nblocks - 1 - bi;
+    const index_t k0 = kblk * nb;
+    const index_t kb = std::min(nb, m - k0);
+    trsm_left_unblocked(uplo, op, diag, T{1}, a.block(k0, k0, kb, kb),
+                        b.block(k0, 0, kb, n));
+    // Rows of B still to be solved: below the block for lower M, above it
+    // for upper M. B_rest -= M(rest, k) * X_k in a single gemm.
+    if (m_lower && k0 + kb < m) {
+      const index_t r0 = k0 + kb;
+      const index_t rm = m - r0;
+      ConstMatrixView<T> mk = (op == Op::NoTrans) ? a.block(r0, k0, rm, kb)
+                                                  : a.block(k0, r0, kb, rm);
+      gemm(op, Op::NoTrans, T{-1}, mk,
+           ConstMatrixView<T>(b.block(k0, 0, kb, n)), T{1},
+           b.block(r0, 0, rm, n));
+    } else if (!m_lower && k0 > 0) {
+      ConstMatrixView<T> mk = (op == Op::NoTrans) ? a.block(0, k0, k0, kb)
+                                                  : a.block(k0, 0, kb, k0);
+      gemm(op, Op::NoTrans, T{-1}, mk,
+           ConstMatrixView<T>(b.block(k0, 0, kb, n)), T{1},
+           b.block(0, 0, k0, n));
+    }
+  }
+}
+
+/// Blocked right solve: X * op(A) = B, processed by block columns of X with
+/// one gemm update of the not-yet-solved columns per diagonal block.
+template <typename T>
+void trsm_right_blocked(Uplo uplo, Op op, Diag diag, ConstMatrixView<T> a,
+                        MatrixView<T> b, index_t nb) {
+  const index_t m = b.rows();
+  const index_t n = b.cols();
+  const bool m_lower = (op == Op::NoTrans) == (uplo == Uplo::Lower);
+  const index_t nblocks = ceil_div(n, nb);
+  for (index_t bi = 0; bi < nblocks; ++bi) {
+    // Lower-triangular M: columns depend on later ones -> right-to-left.
+    const index_t kblk = m_lower ? nblocks - 1 - bi : bi;
+    const index_t k0 = kblk * nb;
+    const index_t kb = std::min(nb, n - k0);
+    trsm_right_unblocked(uplo, op, diag, T{1}, a.block(k0, k0, kb, kb),
+                         b.block(0, k0, m, kb));
+    // Columns of B still to be solved: left of the block for lower M,
+    // right of it for upper M. B_rest -= X_k * M(k, rest).
+    if (m_lower && k0 > 0) {
+      ConstMatrixView<T> mk = (op == Op::NoTrans) ? a.block(k0, 0, kb, k0)
+                                                  : a.block(0, k0, k0, kb);
+      gemm(Op::NoTrans, op, T{-1}, ConstMatrixView<T>(b.block(0, k0, m, kb)),
+           mk, T{1}, b.block(0, 0, m, k0));
+    } else if (!m_lower && k0 + kb < n) {
+      const index_t r0 = k0 + kb;
+      const index_t rn = n - r0;
+      ConstMatrixView<T> mk = (op == Op::NoTrans) ? a.block(k0, r0, kb, rn)
+                                                  : a.block(r0, k0, rn, kb);
+      gemm(Op::NoTrans, op, T{-1}, ConstMatrixView<T>(b.block(0, k0, m, kb)),
+           mk, T{1}, b.block(0, r0, m, rn));
+    }
+  }
+}
+
 }  // namespace detail
 
 template <typename T>
 void trsm(Side side, Uplo uplo, Op op, Diag diag, T alpha,
           std::type_identity_t<ConstMatrixView<T>> a, MatrixView<T> b) {
   HCHAM_CHECK(a.rows() == a.cols());
+  const index_t nb = default_block_size();
   if (side == Side::Left) {
     HCHAM_CHECK(a.rows() == b.rows());
-    detail::trsm_left(uplo, op, diag, alpha, a, b);
+    if (a.rows() > nb && b.cols() >= 4) {
+      if (alpha != T{1}) scal(alpha, b);
+      detail::trsm_left_blocked(uplo, op, diag, a, b, nb);
+    } else {
+      detail::trsm_left_unblocked(uplo, op, diag, alpha, a, b);
+    }
   } else {
     HCHAM_CHECK(a.rows() == b.cols());
-    detail::trsm_right(uplo, op, diag, alpha, a, b);
+    if (a.rows() > nb && b.rows() >= 4) {
+      if (alpha != T{1}) scal(alpha, b);
+      detail::trsm_right_blocked(uplo, op, diag, a, b, nb);
+    } else {
+      detail::trsm_right_unblocked(uplo, op, diag, alpha, a, b);
+    }
   }
 }
 

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/scalar.hpp"
+#include "la/gemm.hpp"
 #include "la/norms.hpp"
 #include "rk/rk_matrix.hpp"
 #include "rk/truncation.hpp"
@@ -26,7 +27,22 @@ RkMatrix<T> aca_partial(const Gen& gen, index_t m, index_t n, double eps,
   using R = real_t<T>;
   const index_t kmax =
       (max_rank >= 0) ? std::min(max_rank, std::min(m, n)) : std::min(m, n);
-  std::vector<std::vector<T>> us, vs;  // columns of U and V
+  // U and V grow a column per accepted cross. They live in column-major
+  // Matrix panels (doubling capacity) so the residual updates and Frobenius
+  // inner products below run as single gemv calls instead of rank-wise loops.
+  index_t k = 0;
+  index_t cap = std::min<index_t>(kmax, 8);
+  la::Matrix<T> ufac(m, cap), vfac(n, cap);
+  auto reserve = [&](index_t need) {
+    if (need <= cap) return;
+    cap = std::min(kmax, std::max(cap * 2, need));
+    la::Matrix<T> nu(m, cap), nv(n, cap);
+    la::copy<T>(ufac.block(0, 0, m, k), nu.block(0, 0, m, k));
+    la::copy<T>(vfac.block(0, 0, n, k), nv.block(0, 0, n, k));
+    ufac = std::move(nu);
+    vfac = std::move(nv);
+  };
+  std::vector<T> wk;  // k-sized gemv workspace
   std::vector<char> row_used(static_cast<std::size_t>(m), 0);
   std::vector<char> col_used(static_cast<std::size_t>(n), 0);
   R norm_sq{};  // running estimate of ||U V^H||_F^2
@@ -38,17 +54,20 @@ RkMatrix<T> aca_partial(const Gen& gen, index_t m, index_t n, double eps,
   int small_in_a_row = 0;
   constexpr int kConvergedAfter = 2;
 
-  // Residual of row i restricted to the current approximation.
+  // Residual of row i restricted to the current approximation:
+  // r_j = a(i, j) - sum_l U(i, l) conj(V(j, l)) = a(i, j) - conj((V w)_j)
+  // with w_l = conj(U(i, l)).
   auto residual_row = [&](index_t i, std::vector<T>& r) {
     for (index_t j = 0; j < n; ++j) r[static_cast<std::size_t>(j)] = gen(i, j);
-    for (std::size_t l = 0; l < us.size(); ++l) {
-      const T ui = us[l][static_cast<std::size_t>(i)];
-      if (ui == T{}) continue;
-      const std::vector<T>& vl = vs[l];
-      for (index_t j = 0; j < n; ++j)
-        r[static_cast<std::size_t>(j)] -=
-            ui * conj_if(vl[static_cast<std::size_t>(j)]);
-    }
+    if (k == 0) return;
+    wk.resize(static_cast<std::size_t>(k));
+    for (index_t l = 0; l < k; ++l)
+      wk[static_cast<std::size_t>(l)] = conj_if(ufac(i, l));
+    std::vector<T> t(static_cast<std::size_t>(n));
+    la::gemv<T>(la::Op::NoTrans, T{1}, vfac.block(0, 0, n, k), wk.data(), T{},
+                t.data());
+    for (index_t j = 0; j < n; ++j)
+      r[static_cast<std::size_t>(j)] -= conj_if(t[static_cast<std::size_t>(j)]);
   };
 
   // The cross magnitudes can decay while a whole region of the block is
@@ -87,7 +106,7 @@ RkMatrix<T> aca_partial(const Gen& gen, index_t m, index_t n, double eps,
     return true;
   };
 
-  while (static_cast<index_t>(us.size()) < kmax && rows_tried < m) {
+  while (k < kmax && rows_tried < m) {
     const index_t i = next_row;
     row_used[static_cast<std::size_t>(i)] = 1;
     ++rows_tried;
@@ -121,17 +140,17 @@ RkMatrix<T> aca_partial(const Gen& gen, index_t m, index_t n, double eps,
     col_used[static_cast<std::size_t>(jp)] = 1;
     const T delta = r[static_cast<std::size_t>(jp)];
 
-    // Residual column jp, scaled by 1/delta -> new U column.
+    // Residual column jp, scaled by 1/delta -> new U column:
+    // u -= U w with w_l = conj(V(jp, l)) in one gemv.
     std::vector<T> u(static_cast<std::size_t>(m));
     for (index_t ii = 0; ii < m; ++ii)
       u[static_cast<std::size_t>(ii)] = gen(ii, jp);
-    for (std::size_t l = 0; l < us.size(); ++l) {
-      const T vj = conj_if(vs[l][static_cast<std::size_t>(jp)]);
-      if (vj == T{}) continue;
-      const std::vector<T>& ul = us[l];
-      for (index_t ii = 0; ii < m; ++ii)
-        u[static_cast<std::size_t>(ii)] -=
-            ul[static_cast<std::size_t>(ii)] * vj;
+    if (k > 0) {
+      wk.resize(static_cast<std::size_t>(k));
+      for (index_t l = 0; l < k; ++l)
+        wk[static_cast<std::size_t>(l)] = conj_if(vfac(jp, l));
+      la::gemv<T>(la::Op::NoTrans, T{-1}, ufac.block(0, 0, m, k), wk.data(),
+                  T{1}, u.data());
     }
     const T inv_delta = T{1} / delta;
     for (index_t ii = 0; ii < m; ++ii)
@@ -143,18 +162,30 @@ RkMatrix<T> aca_partial(const Gen& gen, index_t m, index_t n, double eps,
 
     // Update the Frobenius estimate of the accumulated approximation:
     // ||S_k||^2 = ||S_{k-1}||^2 + 2 Re sum_l (u_l^H u_k)(v_k^H v_l)
-    //             + ||u_k||^2 ||v_k||^2.
+    //             + ||u_k||^2 ||v_k||^2, with the cross terms as two gemv
+    // products uu = U^H u_k and vh = V^H v_k (so v_k^H v_l = conj(vh_l)).
     const R nu = la::nrm2(m, u.data());
     const R nv = la::nrm2(n, v.data());
-    for (std::size_t l = 0; l < us.size(); ++l) {
-      const T uu = la::dotc(m, us[l].data(), u.data());
-      const T vv = la::dotc(n, v.data(), vs[l].data());
-      norm_sq += R{2} * scalar_traits<T>::real(uu * vv);
+    if (k > 0) {
+      std::vector<T> uu(static_cast<std::size_t>(k)),
+          vh(static_cast<std::size_t>(k));
+      la::gemv<T>(la::Op::ConjTrans, T{1}, ufac.block(0, 0, m, k), u.data(),
+                  T{}, uu.data());
+      la::gemv<T>(la::Op::ConjTrans, T{1}, vfac.block(0, 0, n, k), v.data(),
+                  T{}, vh.data());
+      for (index_t l = 0; l < k; ++l)
+        norm_sq += R{2} * scalar_traits<T>::real(
+                              uu[static_cast<std::size_t>(l)] *
+                              conj_if(vh[static_cast<std::size_t>(l)]));
     }
     norm_sq += nu * nu * nv * nv;
 
-    us.push_back(std::move(u));
-    vs.push_back(std::move(v));
+    reserve(k + 1);
+    for (index_t ii = 0; ii < m; ++ii)
+      ufac(ii, k) = u[static_cast<std::size_t>(ii)];
+    for (index_t j = 0; j < n; ++j)
+      vfac(j, k) = v[static_cast<std::size_t>(j)];
+    ++k;
 
     // Stopping criterion: several consecutive negligible contributions,
     // then a sampled verification of unvisited rows.
@@ -171,10 +202,9 @@ RkMatrix<T> aca_partial(const Gen& gen, index_t m, index_t n, double eps,
     // Next row pivot: largest entry of the new U column (unused rows).
     next_row = -1;
     R ubest{};
-    const std::vector<T>& uk = us.back();
     for (index_t ii = 0; ii < m; ++ii) {
       if (row_used[static_cast<std::size_t>(ii)]) continue;
-      const R val = abs_val(uk[static_cast<std::size_t>(ii)]);
+      const R val = abs_val(ufac(ii, k - 1));
       if (next_row < 0 || val > ubest) {
         ubest = val;
         next_row = ii;
@@ -183,16 +213,13 @@ RkMatrix<T> aca_partial(const Gen& gen, index_t m, index_t n, double eps,
     if (next_row < 0) break;  // all rows visited
   }
 
-  const index_t k = static_cast<index_t>(us.size());
-  la::Matrix<T> u(m, k), v(n, k);
-  for (index_t l = 0; l < k; ++l) {
-    for (index_t i = 0; i < m; ++i)
-      u(i, l) = us[static_cast<std::size_t>(l)][static_cast<std::size_t>(i)];
-    for (index_t j = 0; j < n; ++j)
-      v(j, l) = vs[static_cast<std::size_t>(l)][static_cast<std::size_t>(j)];
-  }
   RkMatrix<T> result(m, n);
-  if (k > 0) result.set_factors(std::move(u), std::move(v));
+  if (k > 0) {
+    la::Matrix<T> u(m, k), v(n, k);
+    la::copy<T>(ufac.block(0, 0, m, k), u.view());
+    la::copy<T>(vfac.block(0, 0, n, k), v.view());
+    result.set_factors(std::move(u), std::move(v));
+  }
   return result;
 }
 

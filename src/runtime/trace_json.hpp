@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/json.hpp"
 #include "runtime/types.hpp"
 
 namespace hcham::rt {
@@ -24,7 +25,8 @@ inline void trace_to_json(const std::vector<TraceEvent>& trace,
         !graph.nodes[static_cast<std::size_t>(ev.task)].label.empty()) {
       name = graph.nodes[static_cast<std::size_t>(ev.task)].label;
     }
-    out << "  {\"name\": \"" << name << "\", \"ph\": \"X\", \"pid\": 0, "
+    out << "  {\"name\": \"" << json_escape(name)
+        << "\", \"ph\": \"X\", \"pid\": 0, "
         << "\"tid\": " << ev.worker << ", \"ts\": " << ev.start_s * 1e6
         << ", \"dur\": " << (ev.end_s - ev.start_s) * 1e6 << "}";
   }

@@ -4,9 +4,12 @@
 
 #include <atomic>
 #include <mutex>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "runtime/engine.hpp"
+#include "runtime/trace_json.hpp"
 
 namespace hcham {
 namespace {
@@ -204,6 +207,60 @@ TEST(Runtime, TraceRecordsAllTasks) {
     EXPECT_LT(ev.worker, 2);
     EXPECT_LE(ev.start_s, ev.end_s);
   }
+}
+
+TEST(Runtime, TraceJsonEscapesLabels) {
+  // Labels can carry arbitrary text (user-provided block names); the JSON
+  // emitter must escape quotes, backslashes, and control characters so the
+  // output stays parseable. Decode the emitted name and require an exact
+  // round trip.
+  const std::string label = "lu \"block\" a\\b\ttab\nline\x01end";
+  Engine eng({.num_workers = 1, .record_trace = true});
+  auto h = eng.register_data();
+  eng.submit([] {}, {write(h)}, 0, label.c_str());
+  eng.wait_all();
+  std::ostringstream out;
+  trace_to_json(eng.trace(), eng.graph(), out);
+  const std::string json = out.str();
+
+  // No raw control characters may survive anywhere in the document.
+  for (const char c : json)
+    ASSERT_FALSE(static_cast<unsigned char>(c) < 0x20 && c != '\n')
+        << "raw control character 0x" << std::hex
+        << int(static_cast<unsigned char>(c)) << " in output";
+
+  const std::string key = "\"name\": \"";
+  const std::size_t start = json.find(key);
+  ASSERT_NE(start, std::string::npos);
+  std::string decoded;
+  std::size_t i = start + key.size();
+  while (i < json.size() && json[i] != '"') {
+    if (json[i] != '\\') {
+      decoded += json[i++];
+      continue;
+    }
+    ASSERT_LT(i + 1, json.size());
+    const char e = json[i + 1];
+    i += 2;
+    switch (e) {
+      case '"': decoded += '"'; break;
+      case '\\': decoded += '\\'; break;
+      case 'b': decoded += '\b'; break;
+      case 'f': decoded += '\f'; break;
+      case 'n': decoded += '\n'; break;
+      case 'r': decoded += '\r'; break;
+      case 't': decoded += '\t'; break;
+      case 'u': {
+        ASSERT_LE(i + 4, json.size());
+        decoded += static_cast<char>(
+            std::stoi(json.substr(i, 4), nullptr, 16));
+        i += 4;
+        break;
+      }
+      default: FAIL() << "unknown escape \\" << e;
+    }
+  }
+  EXPECT_EQ(decoded, label);
 }
 
 TEST(Runtime, DuplicateEdgesAreDeduplicated) {
