@@ -39,6 +39,10 @@ struct BenchRecord {
   double median_s = 0; ///< median wall time per repetition
   double min_s = 0;    ///< fastest repetition
   double gflops = 0;   ///< flops / median_s / 1e9 (0 when flops are undefined)
+  /// Additional numeric fields appended verbatim to the record's JSON
+  /// object (e.g. "workers", "speedup", "busy_fraction" for the scaling
+  /// bench). Readers of the base schema can ignore them.
+  std::vector<std::pair<std::string, double>> extra;
 };
 
 /// Git revision stamped into every result file: HCHAM_GIT_REV when set (CI
@@ -78,10 +82,12 @@ class BenchJson {
       const BenchRecord& r = records_[i];
       std::fprintf(f,
                    "    {\"name\": \"%s\", \"size\": %ld, \"reps\": %d, "
-                   "\"median_s\": %.6e, \"min_s\": %.6e, \"gflops\": %.3f}%s\n",
+                   "\"median_s\": %.6e, \"min_s\": %.6e, \"gflops\": %.3f",
                    json_escape(r.name).c_str(), static_cast<long>(r.size),
-                   r.reps, r.median_s, r.min_s, r.gflops,
-                   i + 1 < records_.size() ? "," : "");
+                   r.reps, r.median_s, r.min_s, r.gflops);
+      for (const auto& [key, value] : r.extra)
+        std::fprintf(f, ", \"%s\": %.6g", json_escape(key).c_str(), value);
+      std::fprintf(f, "}%s\n", i + 1 < records_.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);

@@ -1,0 +1,227 @@
+// Parallel-scaling sweep: workers x policies for the Tile-H LU and the
+// fine-grain H-LU task graph, REAL multi-threaded execution (not the
+// simulator), plus DAG-replay points at the paper's thread counts for
+// cross-checking against Figs. 6-7. This is the benchmark behind the
+// lock-light scheduler work: under the old global-lock engine the runtime
+// serialized these graphs and the measured speedups stayed near 1x.
+//
+// Usage: scaling_lu [--smoke] [--out=PATH]
+//   --smoke    trimmed sweep for CI (small N, workers {1,2,4})
+//   --out=PATH result file (default BENCH_scaling.json)
+//
+// Every point appends a record to BENCH_scaling.json (base schema in
+// EXPERIMENTS.md) with extra fields: "workers", "speedup" (vs the 1-worker
+// run of the same series) and "busy_fraction" (sum of task execution time
+// over workers x makespan, from the engine trace / simulator).
+//
+// Exit status is nonzero if the 4-worker Tile-H LU speedup (best policy)
+// falls below 2.0x — measured when the host has >= 4 hardware threads
+// (the CI runners do), otherwise from the calibrated DAG replay of the
+// measured graph (this repo's documented substitution for multi-core
+// hosts, see DESIGN.md).
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/hlu_tasks.hpp"
+
+using namespace hcham;
+
+namespace {
+
+bench::BenchJson g_json;
+
+struct Point {
+  double time_s = 0.0;
+  double busy_fraction = 0.0;
+  index_t tasks = 0;
+};
+
+void report(const char* series, rt::SchedulerPolicy pol, index_t n,
+            int workers, const Point& p, double time_1w) {
+  bench::BenchRecord rec;
+  rec.name = std::string(series) + "_" + rt::to_string(pol);
+  rec.size = n;
+  rec.reps = 1;
+  rec.median_s = rec.min_s = p.time_s;
+  rec.extra = {{"workers", static_cast<double>(workers)},
+               {"speedup", p.time_s > 0.0 ? time_1w / p.time_s : 0.0},
+               {"busy_fraction", p.busy_fraction}};
+  g_json.add(rec);
+  std::printf("%-22s N=%-6ld P=%-2d  %.4f s  speedup %.2fx  busy %.2f\n",
+              rec.name.c_str(), static_cast<long>(n), workers, p.time_s,
+              p.time_s > 0.0 ? time_1w / p.time_s : 0.0, p.busy_fraction);
+}
+
+/// Busy time of the last wait_all() epoch, from the engine trace.
+double epoch_busy_s(const rt::Engine& engine, std::size_t trace_before) {
+  double busy = 0.0;
+  const auto& tr = engine.trace();
+  for (std::size_t i = trace_before; i < tr.size(); ++i)
+    busy += tr[i].end_s - tr[i].start_s;
+  return busy;
+}
+
+/// One measured Tile-H factorization: fresh assembly (the factorization
+/// overwrites the tiles), then LU on `workers` real threads.
+Point run_tileh(index_t n, index_t nb, double eps, int workers,
+                rt::SchedulerPolicy pol) {
+  bem::FemBemProblem<double> problem(n);
+  auto gen = [&problem](index_t i, index_t j) { return problem.entry(i, j); };
+  rt::Engine engine(
+      {.num_workers = workers, .policy = pol, .record_trace = true});
+  auto a = core::TileHMatrix<double>::build(engine, problem.points(), gen,
+                                            bench::tileh_options(nb, eps));
+  const std::size_t trace_before = engine.trace().size();
+  const index_t first = engine.num_tasks();
+  a.factorize_submit(engine);
+  Timer t;
+  engine.wait_all();
+  Point p;
+  p.time_s = t.seconds();
+  p.tasks = engine.num_tasks() - first;
+  p.busy_fraction = p.time_s > 0.0
+                        ? epoch_busy_s(engine, trace_before) /
+                              (p.time_s * static_cast<double>(workers))
+                        : 0.0;
+  return p;
+}
+
+/// One measured fine-grain H-LU (the HMAT-style baseline of Figs. 6-7).
+Point run_hmat(index_t n, double eps, int workers, rt::SchedulerPolicy pol) {
+  bem::FemBemProblem<double> problem(n);
+  auto gen = [&problem](index_t i, index_t j) { return problem.entry(i, j); };
+  cluster::ClusteringOptions copts;
+  copts.leaf_size = 64;
+  auto tree = std::make_shared<const cluster::ClusterTree>(
+      cluster::ClusterTree::build(problem.points(), copts));
+  auto h = hmat::build_hmatrix<double>(tree, tree->root(), tree->root(), gen,
+                                       bench::hmat_options(eps));
+  rt::Engine engine(
+      {.num_workers = workers, .policy = pol, .record_trace = true});
+  core::HluTaskGraph<double> graph(engine, h, rk::TruncationParams{eps, -1});
+  graph.submit();
+  Point p;
+  p.tasks = engine.num_tasks();
+  Timer t;
+  engine.wait_all();
+  p.time_s = t.seconds();
+  p.busy_fraction =
+      p.time_s > 0.0
+          ? epoch_busy_s(engine, 0) / (p.time_s * static_cast<double>(workers))
+          : 0.0;
+  return p;
+}
+
+Point sim_point(const rt::TaskGraph& g, rt::SchedulerPolicy pol,
+                int workers) {
+  const auto r = rt::simulate(g, pol, workers, bench::default_sim_params());
+  Point p;
+  p.time_s = r.makespan_s;
+  p.tasks = g.num_tasks();
+  p.busy_fraction = r.parallel_efficiency();
+  return p;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out = "BENCH_scaling.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    else if (std::strncmp(argv[i], "--out=", 6) == 0) out = argv[i] + 6;
+    else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--out=PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+  const double eps = bench::bench_eps();
+  const index_t n = bench::scaled(smoke ? 1500 : 4000);
+  const index_t nb = bench::default_tile_size(smoke ? 2000 : 4000);
+  const std::vector<int> worker_counts =
+      smoke ? std::vector<int>{1, 2, 4} : std::vector<int>{1, 2, 4, 8};
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::printf("# scaling_lu%s (git %s) N=%ld NB=%ld eps=%.1e hw_threads=%u\n",
+              smoke ? " --smoke" : "", bench::bench_git_rev().c_str(),
+              static_cast<long>(n), static_cast<long>(nb), eps, hw);
+
+  // --- Tile-H LU, measured ------------------------------------------------
+  double gate_speedup_measured = 0.0;
+  for (const auto pol : bench::all_policies()) {
+    double time_1w = 0.0;
+    for (const int w : worker_counts) {
+      const Point p = run_tileh(n, nb, eps, w, pol);
+      if (w == 1) time_1w = p.time_s;
+      report("tileh_lu_measured", pol, n, w, p, time_1w);
+      if (w == 4 && p.time_s > 0.0)
+        gate_speedup_measured =
+            std::max(gate_speedup_measured, time_1w / p.time_s);
+    }
+  }
+
+  // --- fine-grain H-LU, measured (trimmed in smoke mode: the DAG is an
+  // order of magnitude bigger and CI only gates on Tile-H) ----------------
+  {
+    const auto policies =
+        smoke ? std::vector<rt::SchedulerPolicy>{rt::SchedulerPolicy::Priority}
+              : bench::all_policies();
+    const std::vector<int> counts = smoke ? std::vector<int>{1, 4}
+                                          : worker_counts;
+    for (const auto pol : policies) {
+      double time_1w = 0.0;
+      for (const int w : counts) {
+        const Point p = run_hmat(n, eps, w, pol);
+        if (w == 1) time_1w = p.time_s;
+        report("hmat_lu_measured", pol, n, w, p, time_1w);
+      }
+    }
+  }
+
+  // --- DAG-replay points at the paper's thread counts ---------------------
+  // One sequential measurement per graph, replayed by the calibrated
+  // simulator (the Figs. 6-7 protocol); cross-checks the measured points
+  // and extends the sweep past the host's core count.
+  double gate_speedup_sim = 0.0;
+  {
+    auto m = bench::measure_tileh_lu<double>(n, nb, eps);
+    auto h = bench::measure_hmat_lu<double>(n, eps);
+    const std::vector<int> counts = {1, 2, 4, 9, 18, 36};
+    for (const auto pol : bench::all_policies()) {
+      double tile_1w = 0.0, hmat_1w = 0.0;
+      for (const int w : counts) {
+        const Point pt = sim_point(m.graph, pol, w);
+        if (w == 1) tile_1w = pt.time_s;
+        report("tileh_lu_sim", pol, n, w, pt, tile_1w);
+        if (w == 4 && pt.time_s > 0.0)
+          gate_speedup_sim =
+              std::max(gate_speedup_sim, tile_1w / pt.time_s);
+        const Point ph = sim_point(h.graph, pol, w);
+        if (w == 1) hmat_1w = ph.time_s;
+        report("hmat_lu_sim", pol, n, w, ph, hmat_1w);
+      }
+    }
+  }
+
+  if (!g_json.write(out))
+    std::fprintf(stderr, "warning: could not write %s\n", out.c_str());
+  else
+    std::printf("# wrote %s (%zu records)\n", out.c_str(),
+                g_json.records().size());
+
+  // CI gate: 4-worker Tile-H speedup (best policy) >= 2x. Measured when
+  // the host can actually run 4 workers in parallel; otherwise the
+  // DAG-replay speedup stands in (DESIGN.md substitution methodology).
+  const bool use_measured = hw >= 4;
+  const double gate = use_measured ? gate_speedup_measured : gate_speedup_sim;
+  std::printf("# gate: 4-worker tile-h speedup %.2fx (%s, threshold 2.0)\n",
+              gate, use_measured ? "measured" : "simulated");
+  if (gate < 2.0) {
+    std::fprintf(stderr,
+                 "FAIL: 4-worker Tile-H LU speedup %.2fx below 2.0x\n", gate);
+    return 1;
+  }
+  return 0;
+}

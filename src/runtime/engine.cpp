@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <sstream>
 #include <thread>
@@ -49,6 +51,14 @@ struct PrioLess {
   }
 };
 
+inline void cpu_pause() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#else
+  std::this_thread::yield();
+#endif
+}
+
 }  // namespace
 
 struct Engine::Impl {
@@ -75,10 +85,38 @@ struct Engine::Impl {
 
   index_t edge_counter = 0;  ///< inferred-edge count (fault injection)
 
-  // Scheduler queues.
+  // Scheduler queues of the global-lock fallback path.
   std::vector<TaskId> prio_heap;                 // policy: prio
   std::vector<std::deque<TaskId>> worker_deques; // policy: ws
   std::vector<std::vector<TaskId>> worker_heaps; // policy: lws
+
+  // --- lock-light scheduler state (valid during run_parallel_locklight) ---
+  //
+  // Each worker owns one cache-line-isolated queue slot (deque for ws, heap
+  // for lws) guarded by its own small mutex, plus a private parking condvar.
+  // The atomic `size` mirrors the queue occupancy so steal-victim selection
+  // and the park/unpark double-check never touch the queue mutexes. Under
+  // the prio policy the central heap stays central (its ordering is the
+  // policy), but it has a dedicated mutex touched once per batched push/pop
+  // instead of one global lock around every scheduling decision.
+  struct alignas(64) WorkerState {
+    std::mutex mu;                 // guards deque and heap
+    std::deque<TaskId> deque;      // ws ready queue (LIFO owner, FIFO thief)
+    std::vector<TaskId> heap;      // lws priority heap
+    std::atomic<index_t> size{0};  // occupancy mirror (victim pick, parking)
+    std::mutex park_mu;
+    std::condition_variable park_cv;
+    unsigned wake_epoch = 0;  // under park_mu; bumped once per targeted wake
+    std::vector<TraceEvent> local_trace;  // merged into `trace` after join
+  };
+  std::vector<std::unique_ptr<WorkerState>> ll_workers;
+  std::mutex prio_mu;                       // guards prio_heap_ll
+  std::vector<TaskId> prio_heap_ll;
+  std::atomic<index_t> prio_size{0};
+  std::unique_ptr<std::atomic<index_t>[]> pending_ll;
+  std::atomic<index_t> remaining_ll{0};
+  std::atomic<std::uint64_t> parked_mask{0};  // bit w set = worker w parked
+  std::mutex err_mu;                          // guards first_error (cold)
 
   std::chrono::steady_clock::time_point epoch_start;
 
@@ -87,6 +125,8 @@ struct Engine::Impl {
   }
 
   void add_edge(TaskId from, TaskId to) {
+    if (from == to) return;  // a task never depends on itself (a self-edge
+                             // would leave pending > 0 forever: deadlock)
     Task& src = tasks[static_cast<std::size_t>(from)];
     if (src.done) return;  // dependency already satisfied (earlier epoch)
     if (src.last_edge_to == to) return;  // dedupe within this submit
@@ -152,7 +192,7 @@ struct Engine::Impl {
     reader_witness.assign(handles.size(), -1);
   }
 
-  // --- scheduler plumbing (all under mu) ---------------------------------
+  // --- global-lock scheduler plumbing (all under mu) ---------------------
 
   void make_ready(TaskId id, int releasing_worker) {
     switch (opts.policy) {
@@ -176,7 +216,9 @@ struct Engine::Impl {
   }
 
   /// Seed target for tasks that are ready at submission time ("released by
-  /// the main thread"): spread round-robin across workers.
+  /// the main thread"): spread round-robin across workers. The cursor is
+  /// reset at the start of every epoch so multi-epoch programs seed exactly
+  /// like the simulator's replay (which restarts at worker 0 per call).
   int next_seed_worker() {
     const int w = seed_rr;
     seed_rr = (seed_rr + 1) % opts.num_workers;
@@ -249,10 +291,6 @@ struct Engine::Impl {
     const auto t0 = std::chrono::steady_clock::now();
     for (Task& t : tasks) {
       if (t.done) continue;
-      HCHAM_DCHECK(t.pending == 0 || [&] {
-        // All predecessors executed earlier in this loop.
-        return true;
-      }());
       const double start =
           std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
               .count();
@@ -313,7 +351,16 @@ struct Engine::Impl {
     HCHAM_CHECK_MSG(left == 0, "fuzzed replay stalled: cycle in task graph");
   }
 
-  void worker_loop(int w, const std::chrono::steady_clock::time_point t0) {
+  // --- global-lock parallel path (verification fallback) -----------------
+  //
+  // Every scheduling decision under one mutex with broadcast wakeups. Kept
+  // as the execution substrate of the access-conflict checker, whose
+  // bookkeeping relies on task start/finish being serialized by that mutex
+  // (see DESIGN.md section 6); also the fallback above 64 workers, where
+  // the lock-light parked-worker bitmask would overflow.
+
+  void worker_loop_locked(int w,
+                          const std::chrono::steady_clock::time_point t0) {
     std::unique_lock<std::mutex> lk(mu);
     while (true) {
       if (remaining == 0) {
@@ -359,10 +406,11 @@ struct Engine::Impl {
     }
   }
 
-  void run_parallel() {
+  void run_parallel_locked() {
     const auto t0 = std::chrono::steady_clock::now();
     {
       std::lock_guard<std::mutex> lk(mu);
+      seed_rr = 0;  // simulator replays restart the round-robin each epoch
       remaining = 0;
       prio_heap.clear();
       worker_deques.assign(static_cast<std::size_t>(opts.num_workers), {});
@@ -377,8 +425,304 @@ struct Engine::Impl {
     std::vector<std::thread> pool;
     pool.reserve(static_cast<std::size_t>(opts.num_workers));
     for (int w = 0; w < opts.num_workers; ++w)
-      pool.emplace_back([this, w, t0] { worker_loop(w, t0); });
+      pool.emplace_back([this, w, t0] { worker_loop_locked(w, t0); });
     for (auto& th : pool) th.join();
+  }
+
+  // --- lock-light parallel path (the default) ----------------------------
+
+  bool ll_has_ready() const {
+    if (opts.policy == SchedulerPolicy::Priority) return prio_size.load() > 0;
+    for (const auto& w : ll_workers)
+      if (w->size.load() > 0) return true;
+    return false;
+  }
+
+  /// Publish a batch of newly-ready tasks with ONE lock acquisition: the
+  /// releasing worker's own queue (ws/lws, matching the global-lock path's
+  /// make_ready target) or the central prio heap.
+  void ll_push_batch(int w, const std::vector<TaskId>& batch) {
+    switch (opts.policy) {
+      case SchedulerPolicy::Priority: {
+        std::lock_guard<std::mutex> lk(prio_mu);
+        for (const TaskId id : batch) {
+          prio_heap_ll.push_back(id);
+          std::push_heap(prio_heap_ll.begin(), prio_heap_ll.end(),
+                         PrioLess{&tasks});
+        }
+        prio_size.fetch_add(static_cast<index_t>(batch.size()));
+        break;
+      }
+      case SchedulerPolicy::WorkStealing: {
+        auto& q = *ll_workers[static_cast<std::size_t>(w)];
+        std::lock_guard<std::mutex> lk(q.mu);
+        for (const TaskId id : batch) q.deque.push_back(id);
+        q.size.fetch_add(static_cast<index_t>(batch.size()));
+        break;
+      }
+      case SchedulerPolicy::LocalityWorkStealing: {
+        auto& q = *ll_workers[static_cast<std::size_t>(w)];
+        std::lock_guard<std::mutex> lk(q.mu);
+        for (const TaskId id : batch) {
+          q.heap.push_back(id);
+          std::push_heap(q.heap.begin(), q.heap.end(), PrioLess{&tasks});
+        }
+        q.size.fetch_add(static_cast<index_t>(batch.size()));
+        break;
+      }
+    }
+  }
+
+  TaskId ll_pop(int w) {
+    switch (opts.policy) {
+      case SchedulerPolicy::Priority: {
+        if (prio_size.load() == 0) return -1;
+        std::lock_guard<std::mutex> lk(prio_mu);
+        if (prio_heap_ll.empty()) return -1;
+        std::pop_heap(prio_heap_ll.begin(), prio_heap_ll.end(),
+                      PrioLess{&tasks});
+        const TaskId id = prio_heap_ll.back();
+        prio_heap_ll.pop_back();
+        prio_size.fetch_sub(1);
+        return id;
+      }
+      case SchedulerPolicy::WorkStealing: {
+        auto& own = *ll_workers[static_cast<std::size_t>(w)];
+        if (own.size.load() > 0) {
+          std::lock_guard<std::mutex> lk(own.mu);
+          if (!own.deque.empty()) {
+            const TaskId id = own.deque.back();  // LIFO on the owner side
+            own.deque.pop_back();
+            own.size.fetch_sub(1);
+            return id;
+          }
+        }
+        // Steal from the most loaded worker (FIFO on the thief side); the
+        // occupancy mirrors make victim selection lock-free.
+        int victim = -1;
+        index_t best = 0;
+        for (int v = 0; v < opts.num_workers; ++v) {
+          if (v == w) continue;
+          const index_t sz =
+              ll_workers[static_cast<std::size_t>(v)]->size.load();
+          if (sz > best) {
+            best = sz;
+            victim = v;
+          }
+        }
+        if (victim < 0) return -1;
+        auto& vq = *ll_workers[static_cast<std::size_t>(victim)];
+        std::lock_guard<std::mutex> lk(vq.mu);
+        if (vq.deque.empty()) return -1;
+        const TaskId id = vq.deque.front();
+        vq.deque.pop_front();
+        vq.size.fetch_sub(1);
+        return id;
+      }
+      case SchedulerPolicy::LocalityWorkStealing: {
+        auto& own = *ll_workers[static_cast<std::size_t>(w)];
+        if (own.size.load() > 0) {
+          std::lock_guard<std::mutex> lk(own.mu);
+          if (!own.heap.empty()) {
+            std::pop_heap(own.heap.begin(), own.heap.end(), PrioLess{&tasks});
+            const TaskId id = own.heap.back();
+            own.heap.pop_back();
+            own.size.fetch_sub(1);
+            return id;
+          }
+        }
+        // Steal from neighbours in ring order, respecting priorities.
+        for (int d = 1; d < opts.num_workers; ++d) {
+          const int v = (w + d) % opts.num_workers;
+          auto& vq = *ll_workers[static_cast<std::size_t>(v)];
+          if (vq.size.load() == 0) continue;
+          std::lock_guard<std::mutex> lk(vq.mu);
+          if (vq.heap.empty()) continue;
+          std::pop_heap(vq.heap.begin(), vq.heap.end(), PrioLess{&tasks});
+          const TaskId id = vq.heap.back();
+          vq.heap.pop_back();
+          vq.size.fetch_sub(1);
+          return id;
+        }
+        return -1;
+      }
+    }
+    return -1;
+  }
+
+  /// Wake up to `count` parked workers, one targeted notify each (never a
+  /// broadcast). The mask snapshot may be stale; waking an already-running
+  /// worker is a harmless extra epoch bump. Bits are cleared by their
+  /// owners on unpark, so a missed targeted wake can never hide a worker
+  /// from later wakes or from termination.
+  void ll_wake(index_t count) {
+    std::uint64_t mask = parked_mask.load();
+    while (count > 0 && mask != 0) {
+      const int w = std::countr_zero(mask);
+      mask &= mask - 1;
+      auto& ws = *ll_workers[static_cast<std::size_t>(w)];
+      {
+        std::lock_guard<std::mutex> lk(ws.park_mu);
+        ++ws.wake_epoch;
+      }
+      ws.park_cv.notify_one();
+      --count;
+    }
+  }
+
+  void ll_wake_all() {
+    for (const auto& wsp : ll_workers) {
+      {
+        std::lock_guard<std::mutex> lk(wsp->park_mu);
+        ++wsp->wake_epoch;
+      }
+      wsp->park_cv.notify_one();
+    }
+  }
+
+  /// Park worker `w` until a targeted wake. Publish-then-wake on the
+  /// release side pairs with announce-then-recheck here (both seq_cst), so
+  /// either the parker sees the published work in the occupancy mirrors or
+  /// the releaser sees the parked bit and bumps the epoch.
+  void ll_park(int w) {
+    auto& me = *ll_workers[static_cast<std::size_t>(w)];
+    const std::uint64_t bit = std::uint64_t{1} << w;
+    parked_mask.fetch_or(bit);
+    if (remaining_ll.load() == 0 || ll_has_ready()) {
+      parked_mask.fetch_and(~bit);
+      return;
+    }
+    {
+      std::unique_lock<std::mutex> lk(me.park_mu);
+      const unsigned seen = me.wake_epoch;
+      // Second check under park_mu: a wake that raced ahead of us has
+      // already bumped the epoch (publish precedes bump), so its work is
+      // visible here and we must not sleep waiting for a second wake.
+      if (remaining_ll.load() != 0 && !ll_has_ready())
+        me.park_cv.wait(lk, [&] { return me.wake_epoch != seen; });
+    }
+    parked_mask.fetch_and(~bit);
+  }
+
+  void ll_worker_loop(int w, const std::chrono::steady_clock::time_point t0) {
+    auto& me = *ll_workers[static_cast<std::size_t>(w)];
+    std::vector<TaskId> batch;
+    int idle_rounds = 0;
+    constexpr int kSpinRounds = 6;   // exponential pause backoff ...
+    constexpr int kYieldRounds = 4;  // ... then yields, then park
+    while (remaining_ll.load() != 0) {
+      const TaskId id = ll_pop(w);
+      if (id < 0) {
+        ++idle_rounds;
+        if (idle_rounds <= kSpinRounds) {
+          for (int i = 0; i < (1 << idle_rounds); ++i) cpu_pause();
+        } else if (idle_rounds <= kSpinRounds + kYieldRounds) {
+          std::this_thread::yield();
+        } else {
+          ll_park(w);
+          idle_rounds = 0;
+        }
+        continue;
+      }
+      idle_rounds = 0;
+      Task& t = tasks[static_cast<std::size_t>(id)];
+      const double start =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      Timer timer;
+      std::exception_ptr error;
+      try {
+        t.fn();
+      } catch (...) {
+        error = std::current_exception();
+      }
+      const double dur = timer.seconds();
+      if (error) {
+        std::lock_guard<std::mutex> lk(err_mu);
+        if (!first_error) first_error = error;
+      }
+      t.duration_s = dur;
+      t.done = true;
+      t.pending = 0;
+      // Batched successor release: resolve all dependency counters first,
+      // publish the newly-ready set with one lock, then hand the surplus
+      // (everything this worker won't immediately run itself) to parked
+      // workers with targeted wakeups.
+      batch.clear();
+      for (const TaskId succ : t.successors)
+        if (pending_ll[static_cast<std::size_t>(succ)].fetch_sub(1) == 1)
+          batch.push_back(succ);
+      if (!batch.empty()) {
+        ll_push_batch(w, batch);
+        if (batch.size() > 1)
+          ll_wake(static_cast<index_t>(batch.size()) - 1);
+      }
+      if (opts.record_trace)
+        me.local_trace.push_back(TraceEvent{t.id, w, start, start + dur});
+      if (remaining_ll.fetch_sub(1) == 1) {
+        ll_wake_all();
+        return;
+      }
+    }
+  }
+
+  void run_parallel_locklight() {
+    const auto t0 = std::chrono::steady_clock::now();
+    const int P = opts.num_workers;
+    seed_rr = 0;  // simulator replays restart the round-robin each epoch
+    ll_workers.clear();
+    for (int w = 0; w < P; ++w)
+      ll_workers.push_back(std::make_unique<WorkerState>());
+    prio_heap_ll.clear();
+    prio_size.store(0);
+    parked_mask.store(0);
+    pending_ll = std::make_unique<std::atomic<index_t>[]>(tasks.size());
+    index_t rem = 0;
+    for (Task& t : tasks) {
+      if (t.done) continue;
+      pending_ll[static_cast<std::size_t>(t.id)].store(t.pending);
+      ++rem;
+      if (t.pending != 0) continue;
+      // Initially-ready tasks spread round-robin, exactly like the
+      // simulator's seeding (the seed target is advanced for every ready
+      // task under every policy, prio simply ignores it).
+      const int target = next_seed_worker();
+      if (opts.policy == SchedulerPolicy::Priority) {
+        prio_heap_ll.push_back(t.id);
+        std::push_heap(prio_heap_ll.begin(), prio_heap_ll.end(),
+                       PrioLess{&tasks});
+        prio_size.fetch_add(1);
+      } else if (opts.policy == SchedulerPolicy::WorkStealing) {
+        auto& q = *ll_workers[static_cast<std::size_t>(target)];
+        q.deque.push_back(t.id);
+        q.size.fetch_add(1);
+      } else {
+        auto& q = *ll_workers[static_cast<std::size_t>(target)];
+        q.heap.push_back(t.id);
+        std::push_heap(q.heap.begin(), q.heap.end(), PrioLess{&tasks});
+        q.size.fetch_add(1);
+      }
+    }
+    if (rem == 0) return;
+    remaining_ll.store(rem);
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(P));
+    for (int w = 0; w < P; ++w)
+      pool.emplace_back([this, w, t0] { ll_worker_loop(w, t0); });
+    for (auto& th : pool) th.join();
+    if (opts.record_trace) {
+      // Merge the per-worker buffers in start order; only this epoch's
+      // slice is sorted (timestamps are relative to each epoch's start).
+      const auto epoch_begin =
+          static_cast<std::ptrdiff_t>(trace.size());
+      for (const auto& wsp : ll_workers)
+        trace.insert(trace.end(), wsp->local_trace.begin(),
+                     wsp->local_trace.end());
+      std::stable_sort(trace.begin() + epoch_begin, trace.end(),
+                       [](const TraceEvent& a, const TraceEvent& b) {
+                         return a.start_s < b.start_s;
+                       });
+    }
   }
 };
 
@@ -427,7 +771,11 @@ TaskId Engine::submit(std::function<void()> fn, std::vector<Access> accesses,
     HandleState& hs = impl_->handles[static_cast<std::size_t>(a.handle.id)];
     if (a.mode == AccessMode::Read) {
       if (hs.last_writer >= 0) impl_->add_edge(hs.last_writer, id);
-      hs.readers_since_write.push_back(id);
+      // Dedupe: a task that lists the same handle twice (or writes then
+      // reads it) is one reader, not several.
+      if (hs.readers_since_write.empty() ||
+          hs.readers_since_write.back() != id)
+        hs.readers_since_write.push_back(id);
     } else {
       // Write / ReadWrite: after the last writer and every reader since.
       if (hs.last_writer >= 0) impl_->add_edge(hs.last_writer, id);
@@ -453,8 +801,13 @@ void Engine::wait_all() {
     impl_->run_fuzzed();
   } else if (impl_->opts.num_workers == 1) {
     impl_->run_sequential();
+  } else if (impl_->opts.check_conflicts || impl_->opts.num_workers > 64) {
+    // The conflict checker's bookkeeping needs the serialized pick/finish
+    // protocol of the global-lock path; beyond 64 workers the lock-light
+    // parked-worker bitmask would overflow.
+    impl_->run_parallel_locked();
   } else {
-    impl_->run_parallel();
+    impl_->run_parallel_locklight();
   }
   // A conflict means the engine itself scheduled two overlapping accesses:
   // more fundamental than any task failure, so it is surfaced first.
@@ -489,6 +842,8 @@ index_t Engine::num_edges() const {
 
 int Engine::num_workers() const { return impl_->opts.num_workers; }
 SchedulerPolicy Engine::policy() const { return impl_->opts.policy; }
+
+int Engine::seed_cursor() const { return impl_->seed_rr; }
 
 TaskGraph Engine::graph() const {
   TaskGraph g;

@@ -70,6 +70,12 @@ class Engine {
   int num_workers() const;
   SchedulerPolicy policy() const;
 
+  /// Position of the round-robin cursor that spreads initially-ready tasks
+  /// across workers. Reset to worker 0 at the start of every parallel
+  /// wait_all() epoch, matching the simulator's replay; exposed so tests
+  /// can assert engine/simulator seed agreement.
+  int seed_cursor() const;
+
   /// Snapshot of the graph; durations are valid after wait_all().
   TaskGraph graph() const;
 

@@ -210,7 +210,8 @@ SimResult simulate(const TaskGraph& g, SchedulerPolicy policy, int workers,
         start = runtime_free;
       }
       const double dur = effective_duration(id);
-      result.busy_s += dur + (start - now);
+      result.busy_s += dur;
+      result.dispatch_wait_s += start - now;
       worker_busy[static_cast<std::size_t>(w)] = 1;
       events.push(Event{start + dur, w, id, false});
     }

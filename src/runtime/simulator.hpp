@@ -48,7 +48,15 @@ struct SimResult {
   int workers = 0;
   SchedulerPolicy policy = SchedulerPolicy::Priority;
   double makespan_s = 0.0;
-  double busy_s = 0.0;  ///< sum of effective task durations
+  /// Sum of effective task durations (kernel time + per-task/per-edge
+  /// runtime overhead). Strictly execution: time a worker spends queued
+  /// behind the serialized dispatch gate is NOT counted here.
+  double busy_s = 0.0;
+  /// Total time workers spent waiting on the serialized runtime dispatch
+  /// (the `dispatch_serial_cost_s` contention model) before their task
+  /// could start. Previously folded into busy_s, which inflated the
+  /// reported efficiency exactly when contention was worst.
+  double dispatch_wait_s = 0.0;
   double parallel_efficiency() const {
     return makespan_s > 0.0
                ? busy_s / (makespan_s * static_cast<double>(workers))

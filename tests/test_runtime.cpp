@@ -141,6 +141,65 @@ TEST_P(RuntimePolicies, ManyIndependentTasksAllExecute) {
   EXPECT_EQ(count.load(), 200);
 }
 
+TEST_P(RuntimePolicies, WriteBeforeReadOnSameHandleDoesNotHang) {
+  // Regression: a task listing write(h) before read(h) used to create a
+  // self-edge (the write path set last_writer = id, then the read path
+  // added an edge from last_writer to id), so pending never reached 0 and
+  // wait_all() deadlocked with all workers parked. Mixed-order duplicate
+  // accesses must collapse to zero self-dependencies.
+  Engine eng({.num_workers = 4, .policy = GetParam()});
+  auto h1 = eng.register_data();
+  auto h2 = eng.register_data();
+  std::atomic<int> count{0};
+  eng.submit([&count] { ++count; }, {write(h1), read(h1)});
+  eng.submit([&count] { ++count; }, {read(h1), write(h1), read(h1)});
+  eng.submit([&count] { ++count; },
+             {read(h2), readwrite(h2), write(h1), read(h2)});
+  eng.submit([&count] { ++count; }, {read(h1), read(h1), write(h2)});
+  eng.wait_all();
+  EXPECT_EQ(count.load(), 4);
+  // And the graph is still the plain chain on h1 (edges 1->2->3->4 plus the
+  // h2 chain), with no duplicated reader edges.
+  for (const auto& node : eng.graph().nodes)
+    for (std::size_t i = 0; i + 1 < node.successors.size(); ++i)
+      EXPECT_NE(node.successors[i], node.successors[i + 1]);
+}
+
+TEST_P(RuntimePolicies, WriteBeforeReadDoesNotHangOnLockedPath) {
+  // Same regression under check_conflicts, which routes execution through
+  // the global-lock fallback scheduler.
+  Engine eng({.num_workers = 4,
+              .policy = GetParam(),
+              .check_conflicts = true});
+  auto h = eng.register_data();
+  std::atomic<int> count{0};
+  for (int i = 0; i < 8; ++i)
+    eng.submit([&count] { ++count; }, {write(h), read(h)});
+  eng.wait_all();
+  EXPECT_EQ(count.load(), 8);
+  EXPECT_TRUE(eng.conflicts().empty());
+}
+
+TEST_P(RuntimePolicies, MultiEpochHeavyGraphDrainsEveryTime) {
+  // Lock-light path stress: several wait_all() epochs with cross-epoch
+  // dependencies, checking the parked-worker wakeup protocol never strands
+  // a worker between epochs.
+  Engine eng({.num_workers = 4, .policy = GetParam()});
+  constexpr int kHandles = 8;
+  std::vector<Handle> hs;
+  for (int i = 0; i < kHandles; ++i) hs.push_back(eng.register_data());
+  std::atomic<int> count{0};
+  for (int epoch = 0; epoch < 5; ++epoch) {
+    for (int i = 0; i < 64; ++i)
+      eng.submit([&count] { ++count; },
+                 {readwrite(hs[static_cast<std::size_t>(i % kHandles)]),
+                  read(hs[static_cast<std::size_t>((i + 1) % kHandles)])},
+                 i % 3);
+    eng.wait_all();
+    EXPECT_EQ(count.load(), 64 * (epoch + 1));
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(AllPolicies, RuntimePolicies,
                          ::testing::Values(SchedulerPolicy::WorkStealing,
                                            SchedulerPolicy::LocalityWorkStealing,

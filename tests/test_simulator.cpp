@@ -150,6 +150,52 @@ TEST(Simulator, PoliciesAgreeOnEmbarrassinglyParallelWork) {
   EXPECT_DOUBLE_EQ(ws.makespan_s, prio.makespan_s);
 }
 
+TEST(Simulator, BusySecondsCountExecutionOnly) {
+  // With a serialized dispatch cost, workers queue behind the runtime
+  // before their task starts. That wait used to be folded into busy_s,
+  // inflating parallel_efficiency exactly when contention was worst; it is
+  // now reported separately.
+  std::vector<double> d(16, 1.0);
+  auto g = make_graph(d, {});
+  SimParams p;
+  p.task_overhead_s = 0.0;
+  p.edge_overhead_s = 0.0;
+  p.dispatch_serial_cost_s = 0.01;
+  const auto r = simulate(g, SchedulerPolicy::Priority, 4, p);
+  EXPECT_DOUBLE_EQ(r.busy_s, g.total_work_s());
+  EXPECT_GT(r.dispatch_wait_s, 0.0);
+  EXPECT_LT(r.parallel_efficiency(), 1.0);
+  // No contention model, no wait.
+  const auto r0 = simulate(g, SchedulerPolicy::Priority, 4, kNoOverhead);
+  EXPECT_DOUBLE_EQ(r0.dispatch_wait_s, 0.0);
+  EXPECT_NEAR(r0.parallel_efficiency(), 1.0, 1e-12);
+}
+
+TEST(Simulator, EngineSeedingMatchesSimulatorAcrossEpochs) {
+  // simulate() restarts its round-robin seed cursor at worker 0 on every
+  // call, so after pushing k initially-ready tasks the cursor sits at
+  // k % P. The engine must do the same on every wait_all() epoch — the
+  // cursor used to persist across epochs, silently diverging the engine's
+  // ws/lws seeding from the simulator's replay on multi-epoch programs.
+  constexpr int kWorkers = 2;
+  rt::Engine eng({.num_workers = kWorkers,
+                  .policy = SchedulerPolicy::WorkStealing});
+  std::vector<rt::Handle> hs;
+  for (int i = 0; i < 3; ++i) hs.push_back(eng.register_data());
+  // Epoch 1: three independent (initially-ready) tasks.
+  for (int i = 0; i < 3; ++i)
+    eng.submit([] {}, {readwrite(hs[static_cast<std::size_t>(i)])});
+  eng.wait_all();
+  EXPECT_EQ(eng.seed_cursor(), 3 % kWorkers);
+  // Epoch 2: two ready tasks. A fresh simulate() of this sub-DAG would
+  // push 2 seeds starting from worker 0, leaving its cursor at 2 % P = 0;
+  // the engine must agree instead of continuing from the last epoch.
+  for (int i = 0; i < 2; ++i)
+    eng.submit([] {}, {readwrite(hs[static_cast<std::size_t>(i)])});
+  eng.wait_all();
+  EXPECT_EQ(eng.seed_cursor(), 2 % kWorkers);
+}
+
 TEST(Simulator, ReplayOfRealEngineGraph) {
   // Build a tiled-LU-shaped graph in the engine, execute it, then replay.
   rt::Engine eng;
