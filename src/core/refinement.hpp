@@ -6,6 +6,7 @@
 // per sweep. This is the standard practice for loose-eps direct H-solvers.
 #pragma once
 
+#include <algorithm>
 #include <vector>
 
 #include "core/tile_h.hpp"
@@ -14,51 +15,66 @@ namespace hcham::core {
 
 struct RefinementResult {
   int iterations = 0;
-  double final_residual = 0.0;  ///< ||b - A x|| / ||b||
+  double final_residual = 0.0;  ///< max over columns of ||b_c - A x_c|| / ||b_c||
+  /// Per-column relative residuals, one entry per RHS column.
+  std::vector<double> column_residuals;
 };
 
-/// Solve A x = b in place (b <- x) with iterative refinement.
-/// `factored` holds LU or Cholesky factors; `op` is an UNfactorized Tile-H
-/// matrix of the same problem used for residuals.
+/// Solve A X = B in place (B <- X) with iterative refinement; B may hold
+/// any number of right-hand-side columns and every sweep refines all of
+/// them in one batched solve. `factored` holds LU or Cholesky factors;
+/// `op` is an UNfactorized Tile-H matrix of the same problem used for
+/// residuals. Returns the max relative residual over columns (so the
+/// single-column behaviour of earlier revisions is unchanged).
 template <typename T>
 RefinementResult solve_refined(TileHMatrix<T>& factored,
                                const TileHMatrix<T>& op, rt::Engine& engine,
                                la::MatrixView<T> b, int max_iters = 3,
                                double target_residual = 1e-14,
-                               bool cholesky = false) {
+                               bool cholesky = false,
+                               index_t panel_width = 0) {
   const index_t n = factored.size();
-  HCHAM_CHECK(b.rows() == n && b.cols() == 1);
+  const index_t nrhs = b.cols();
+  HCHAM_CHECK(b.rows() == n && nrhs >= 1);
 
-  std::vector<T> rhs(static_cast<std::size_t>(n));
-  for (index_t i = 0; i < n; ++i) rhs[static_cast<std::size_t>(i)] = b(i, 0);
-  const double bnorm = la::nrm2(n, rhs.data());
+  la::Matrix<T> rhs = la::Matrix<T>::from_view(b);
+  std::vector<double> bnorm(static_cast<std::size_t>(nrhs));
+  for (index_t c = 0; c < nrhs; ++c)
+    bnorm[static_cast<std::size_t>(c)] = la::nrm2(n, rhs.data() + c * n);
 
   auto solve_inplace = [&](la::MatrixView<T> v) {
     if (cholesky) {
-      factored.solve_cholesky(engine, v);
+      factored.solve_cholesky(engine, v, panel_width);
     } else {
-      factored.solve(engine, v);
+      factored.solve(engine, v, panel_width);
     }
   };
 
-  solve_inplace(b);  // x0
+  solve_inplace(b);  // X0
 
   RefinementResult result;
-  std::vector<T> r(static_cast<std::size_t>(n));
+  result.column_residuals.assign(static_cast<std::size_t>(nrhs), 0.0);
+  la::Matrix<T> r(n, nrhs);
+  std::vector<T> x(static_cast<std::size_t>(n));
   for (int it = 0; it < max_iters; ++it) {
-    // r = rhs - A x.
-    r = rhs;
-    std::vector<T> x(static_cast<std::size_t>(n));
-    for (index_t i = 0; i < n; ++i) x[static_cast<std::size_t>(i)] = b(i, 0);
-    op.matvec(T{-1}, x.data(), T{1}, r.data());
-    result.final_residual =
-        bnorm > 0.0 ? la::nrm2(n, r.data()) / bnorm : 0.0;
+    // R = RHS - A X, one matvec per column.
+    la::copy(rhs.cview(), r.view());
+    for (index_t c = 0; c < nrhs; ++c) {
+      la::pack_column(la::ConstMatrixView<T>(b), c, x.data());
+      op.matvec(T{-1}, x.data(), T{1}, r.data() + c * n);
+    }
+    result.final_residual = 0.0;
+    for (index_t c = 0; c < nrhs; ++c) {
+      const double bn = bnorm[static_cast<std::size_t>(c)];
+      const double res = bn > 0.0 ? la::nrm2(n, r.data() + c * n) / bn : 0.0;
+      result.column_residuals[static_cast<std::size_t>(c)] = res;
+      result.final_residual = std::max(result.final_residual, res);
+    }
     if (result.final_residual <= target_residual) break;
-    // x += A_f^-1 r.
-    la::MatrixView<T> rv(r.data(), n, 1, n);
-    solve_inplace(rv);
-    for (index_t i = 0; i < n; ++i)
-      b(i, 0) += r[static_cast<std::size_t>(i)];
+    // X += A_f^-1 R: one batched solve refines every column.
+    solve_inplace(r.view());
+    for (index_t c = 0; c < nrhs; ++c)
+      for (index_t i = 0; i < n; ++i) b(i, c) += r(i, c);
     ++result.iterations;
   }
   return result;

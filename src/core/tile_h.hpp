@@ -11,6 +11,7 @@
 // condition, and the permutation.
 #pragma once
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
@@ -138,15 +139,20 @@ class TileHMatrix {
     engine.wait_all();
   }
 
-  /// Solve A x = b in the ORIGINAL index ordering, in place, using the
-  /// tiled factors. Executes the solve task graph on `engine`.
-  void solve(rt::Engine& engine, la::MatrixView<T> b) {
-    solve_impl(engine, b, /*cholesky=*/false);
+  /// Solve A X = B in the ORIGINAL index ordering, in place, using the
+  /// tiled factors. B may hold any number of right-hand-side columns;
+  /// they are split into panels of `panel_width` columns so independent
+  /// panels run concurrently (0 = pick a width from the engine's worker
+  /// count). Executes the solve task graph on `engine`.
+  void solve(rt::Engine& engine, la::MatrixView<T> b,
+             index_t panel_width = 0) {
+    solve_impl(engine, b, /*cholesky=*/false, panel_width);
   }
 
   /// Solve after factorize_cholesky().
-  void solve_cholesky(rt::Engine& engine, la::MatrixView<T> b) {
-    solve_impl(engine, b, /*cholesky=*/true);
+  void solve_cholesky(rt::Engine& engine, la::MatrixView<T> b,
+                      index_t panel_width = 0) {
+    solve_impl(engine, b, /*cholesky=*/true, panel_width);
   }
 
   /// y = alpha A x + beta y in the ORIGINAL index ordering (sequential;
@@ -219,19 +225,28 @@ class TileHMatrix {
     node.make_full(std::move(dense));
   }
 
-  void solve_impl(rt::Engine& engine, la::MatrixView<T> b, bool cholesky) {
-    HCHAM_CHECK(b.rows() == n_);
-    la::Matrix<T> bp(n_, b.cols());
-    for (index_t c = 0; c < b.cols(); ++c)
+  void solve_impl(rt::Engine& engine, la::MatrixView<T> b, bool cholesky,
+                  index_t panel_width) {
+    HCHAM_CHECK(b.rows() == n_ && b.cols() >= 1);
+    const index_t nrhs = b.cols();
+    if (panel_width <= 0) {
+      // Auto width: about two panels per worker keeps every worker busy
+      // without shredding the panel GEMMs into single columns.
+      const index_t target =
+          std::max<index_t>(1, 2 * static_cast<index_t>(engine.num_workers()));
+      panel_width = std::max<index_t>(1, ceil_div(nrhs, target));
+    }
+    la::Matrix<T> bp(n_, nrhs);
+    for (index_t c = 0; c < nrhs; ++c)
       for (index_t i = 0; i < n_; ++i)
         bp(i, c) = b(clustering_.tree.perm(i), c);
     if (cholesky) {
-      tile::tiled_potrs(engine, *desc_, bp.view());
+      tile::tiled_potrs(engine, *desc_, bp.view(), panel_width);
     } else {
-      tile::tiled_getrs(engine, *desc_, bp.view());
+      tile::tiled_getrs(engine, *desc_, bp.view(), panel_width);
     }
     engine.wait_all();
-    for (index_t c = 0; c < b.cols(); ++c)
+    for (index_t c = 0; c < nrhs; ++c)
       for (index_t i = 0; i < n_; ++i)
         b(clustering_.tree.perm(i), c) = bp(i, c);
   }

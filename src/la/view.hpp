@@ -111,4 +111,33 @@ void copy(ConstMatrixView<T> src, MatrixView<T> dst) {
     for (index_t i = 0; i < src.rows(); ++i) dst(i, j) = src(i, j);
 }
 
+// Single-column movement between views (leading dimension >= rows, so
+// columns of different views never interleave) and contiguous buffers.
+// Shared by the iterative-refinement sweeps and the serve-layer panel
+// packing that gathers request columns into one multi-RHS block.
+
+/// dst[0..rows) = src(:, col).
+template <typename T>
+void pack_column(ConstMatrixView<T> src, index_t col, T* dst) {
+  HCHAM_DCHECK(col >= 0 && col < src.cols());
+  const T* s = src.col(col);
+  for (index_t i = 0; i < src.rows(); ++i) dst[i] = s[i];
+}
+
+/// dst(:, col) = src[0..rows).
+template <typename T>
+void unpack_column(const T* src, MatrixView<T> dst, index_t col) {
+  HCHAM_DCHECK(col >= 0 && col < dst.cols());
+  T* d = dst.col(col);
+  for (index_t i = 0; i < dst.rows(); ++i) d[i] = src[i];
+}
+
+/// dst(:, dcol) = src(:, scol) between two equal-height views.
+template <typename T>
+void copy_column(ConstMatrixView<T> src, index_t scol, MatrixView<T> dst,
+                 index_t dcol) {
+  HCHAM_CHECK(src.rows() == dst.rows());
+  pack_column(src, scol, dst.col(dcol));
+}
+
 }  // namespace hcham::la

@@ -114,11 +114,19 @@ struct Engine::Impl {
   std::vector<TaskId> prio_heap_ll;
   std::atomic<index_t> prio_size{0};
   std::unique_ptr<std::atomic<index_t>[]> pending_ll;
+  index_t ll_base = 0;  ///< pending_ll[i] belongs to task `ll_base + i`
   std::atomic<index_t> remaining_ll{0};
   std::atomic<std::uint64_t> parked_mask{0};  // bit w set = worker w parked
   std::mutex err_mu;                          // guards first_error (cold)
 
   std::chrono::steady_clock::time_point epoch_start;
+
+  /// Tasks below this index belong to fully-drained earlier epochs: their
+  /// closures have been released and every execution path skips them. A
+  /// long-lived engine (a serve session runs thousands of solve epochs
+  /// against one factorization) would otherwise re-scan the entire task
+  /// history and hold every submitted closure alive forever.
+  index_t retired = 0;
 
   explicit Impl(Options o) : opts(o) {
     HCHAM_CHECK(opts.num_workers >= 1);
@@ -285,11 +293,31 @@ struct Engine::Impl {
 
   // --- execution -----------------------------------------------------------
 
+  /// Called after every wait_all() execution: the epoch's tasks have
+  /// drained (even on task failure the graph runs to completion), so their
+  /// closures can be released and the live range advanced. Graph metadata
+  /// (labels, durations, edges) is kept — graph() / to_dot() still see the
+  /// full history. If a task is somehow not done (stalled fuzz replay of a
+  /// broken graph), the boundary stays put so the task re-runs next epoch.
+  void retire_epoch() {
+    for (std::size_t i = static_cast<std::size_t>(retired); i < tasks.size();
+         ++i) {
+      Task& t = tasks[i];
+      if (!t.done) return;
+      t.fn = nullptr;
+      t.accesses.clear();
+      t.accesses.shrink_to_fit();
+    }
+    retired = static_cast<index_t>(tasks.size());
+  }
+
   void run_sequential() {
     // STF guarantees dependencies point backwards, so submission order is a
     // valid topological order.
     const auto t0 = std::chrono::steady_clock::now();
-    for (Task& t : tasks) {
+    for (std::size_t i = static_cast<std::size_t>(retired); i < tasks.size();
+         ++i) {
+      Task& t = tasks[i];
       if (t.done) continue;
       const double start =
           std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
@@ -317,7 +345,9 @@ struct Engine::Impl {
     const auto t0 = std::chrono::steady_clock::now();
     std::vector<TaskId> ready;
     index_t left = 0;
-    for (Task& t : tasks) {
+    for (std::size_t i = static_cast<std::size_t>(retired); i < tasks.size();
+         ++i) {
+      Task& t = tasks[i];
       if (t.done) continue;
       ++left;
       if (t.pending == 0) ready.push_back(t.id);
@@ -415,7 +445,9 @@ struct Engine::Impl {
       prio_heap.clear();
       worker_deques.assign(static_cast<std::size_t>(opts.num_workers), {});
       worker_heaps.assign(static_cast<std::size_t>(opts.num_workers), {});
-      for (Task& t : tasks) {
+      for (std::size_t i = static_cast<std::size_t>(retired);
+           i < tasks.size(); ++i) {
+        Task& t = tasks[i];
         if (t.done) continue;
         ++remaining;
         if (t.pending == 0) make_ready(t.id, next_seed_worker());
@@ -650,7 +682,8 @@ struct Engine::Impl {
       // workers with targeted wakeups.
       batch.clear();
       for (const TaskId succ : t.successors)
-        if (pending_ll[static_cast<std::size_t>(succ)].fetch_sub(1) == 1)
+        if (pending_ll[static_cast<std::size_t>(succ - ll_base)].fetch_sub(
+                1) == 1)
           batch.push_back(succ);
       if (!batch.empty()) {
         ll_push_batch(w, batch);
@@ -676,11 +709,15 @@ struct Engine::Impl {
     prio_heap_ll.clear();
     prio_size.store(0);
     parked_mask.store(0);
-    pending_ll = std::make_unique<std::atomic<index_t>[]>(tasks.size());
+    ll_base = retired;
+    pending_ll = std::make_unique<std::atomic<index_t>[]>(
+        tasks.size() - static_cast<std::size_t>(ll_base));
     index_t rem = 0;
-    for (Task& t : tasks) {
+    for (std::size_t i = static_cast<std::size_t>(retired); i < tasks.size();
+         ++i) {
+      Task& t = tasks[i];
       if (t.done) continue;
-      pending_ll[static_cast<std::size_t>(t.id)].store(t.pending);
+      pending_ll[static_cast<std::size_t>(t.id - ll_base)].store(t.pending);
       ++rem;
       if (t.pending != 0) continue;
       // Initially-ready tasks spread round-robin, exactly like the
@@ -809,6 +846,7 @@ void Engine::wait_all() {
   } else {
     impl_->run_parallel_locklight();
   }
+  impl_->retire_epoch();
   // A conflict means the engine itself scheduled two overlapping accesses:
   // more fundamental than any task failure, so it is surfaced first.
   if (!impl_->conflict_log.empty()) {

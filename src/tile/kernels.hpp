@@ -9,6 +9,7 @@
 #include "hmatrix/hgemm.hpp"
 #include "hmatrix/hlu.hpp"
 #include "hmatrix/htrsm.hpp"
+#include "hmatrix/matmat.hpp"
 #include "la/getrf.hpp"
 #include "la/potrf.hpp"
 #include "la/trsm.hpp"
@@ -70,6 +71,20 @@ void kernel_gemv(la::Op op, T alpha, const Tile<T>& a, const T* x, T* y) {
     la::gemv(op, alpha, a.full.cview(), x, T{1}, y);
   } else {
     hmat::gemv(op, alpha, *a.h, x, T{1}, y);
+  }
+}
+
+/// Y <- Y + alpha * op(tile) * X for a dense RHS panel: the trailing
+/// update of the tiled substitutions. Dense tiles take one panel GEMM
+/// (the blocked engine amortizes the tile traversal over all columns);
+/// H-tiles use the multi-column H-apply.
+template <typename T>
+void kernel_gemm_rhs(la::Op op, T alpha, const Tile<T>& a,
+                     la::ConstMatrixView<T> x, la::MatrixView<T> y) {
+  if (a.format == TileFormat::Full) {
+    la::gemm(op, la::Op::NoTrans, alpha, a.full.cview(), x, T{1}, y);
+  } else {
+    hmat::matmat(op, alpha, *a.h, x, T{1}, y);
   }
 }
 
