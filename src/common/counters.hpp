@@ -1,0 +1,80 @@
+// Process-wide event counters for the H-arithmetic hot path: QR+SVD
+// recompressions, rounded additions and their fast paths, lazy-accumulator
+// updates/flushes, and workspace arena hits/misses.
+//
+// They live in `common` (not `core`) because the rk and la layers bump them
+// and must not depend on higher layers. All operations are relaxed atomics:
+// the counters are monotonically increasing tallies read only at quiescent
+// points (after wait_all / between bench phases), never synchronization.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace hcham {
+
+struct ArithCounters {
+  std::atomic<std::uint64_t> truncations{0};       ///< QR+SVD recompressions
+  std::atomic<std::uint64_t> rounded_adds{0};      ///< eager rounded additions
+  std::atomic<std::uint64_t> rounded_add_fastpaths{0};  ///< truncate skipped
+  std::atomic<std::uint64_t> acc_updates{0};   ///< deferred factor appends
+  std::atomic<std::uint64_t> acc_flushes{0};   ///< pending -> truncated
+  std::atomic<std::uint64_t> acc_budget_flushes{0};  ///< forced by rank budget
+  std::atomic<std::uint64_t> acc_compactions{0};  ///< pending-tail compressions
+  std::atomic<std::uint64_t> ws_hits{0};    ///< arena requests served in place
+  std::atomic<std::uint64_t> ws_misses{0};  ///< arena requests that malloc'd
+
+  void bump(std::atomic<std::uint64_t>& c) {
+    c.fetch_add(1, std::memory_order_relaxed);
+  }
+};
+
+inline ArithCounters& arith_counters() {
+  static ArithCounters counters;
+  return counters;
+}
+
+/// Plain-integer copy of the counters, for reporting and differencing.
+struct ArithCounterSnapshot {
+  std::uint64_t truncations = 0;
+  std::uint64_t rounded_adds = 0;
+  std::uint64_t rounded_add_fastpaths = 0;
+  std::uint64_t acc_updates = 0;
+  std::uint64_t acc_flushes = 0;
+  std::uint64_t acc_budget_flushes = 0;
+  std::uint64_t acc_compactions = 0;
+  std::uint64_t ws_hits = 0;
+  std::uint64_t ws_misses = 0;
+};
+
+inline ArithCounterSnapshot snapshot_arith_counters() {
+  const ArithCounters& c = arith_counters();
+  ArithCounterSnapshot s;
+  s.truncations = c.truncations.load(std::memory_order_relaxed);
+  s.rounded_adds = c.rounded_adds.load(std::memory_order_relaxed);
+  s.rounded_add_fastpaths =
+      c.rounded_add_fastpaths.load(std::memory_order_relaxed);
+  s.acc_updates = c.acc_updates.load(std::memory_order_relaxed);
+  s.acc_flushes = c.acc_flushes.load(std::memory_order_relaxed);
+  s.acc_budget_flushes =
+      c.acc_budget_flushes.load(std::memory_order_relaxed);
+  s.acc_compactions = c.acc_compactions.load(std::memory_order_relaxed);
+  s.ws_hits = c.ws_hits.load(std::memory_order_relaxed);
+  s.ws_misses = c.ws_misses.load(std::memory_order_relaxed);
+  return s;
+}
+
+inline void reset_arith_counters() {
+  ArithCounters& c = arith_counters();
+  c.truncations.store(0, std::memory_order_relaxed);
+  c.rounded_adds.store(0, std::memory_order_relaxed);
+  c.rounded_add_fastpaths.store(0, std::memory_order_relaxed);
+  c.acc_updates.store(0, std::memory_order_relaxed);
+  c.acc_flushes.store(0, std::memory_order_relaxed);
+  c.acc_budget_flushes.store(0, std::memory_order_relaxed);
+  c.acc_compactions.store(0, std::memory_order_relaxed);
+  c.ws_hits.store(0, std::memory_order_relaxed);
+  c.ws_misses.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace hcham

@@ -146,8 +146,11 @@ class HluTaskGraph {
     const Node* ap = &a;
     const Node* bp = &b;
     Node* cp = &c;
-    engine_.submit([ap, bp, cp, tp] { hmat::hgemm(T{-1}, *ap, *bp, *cp, tp); },
-                   std::move(acc), 1, "gemm");
+    // Deferred: every leaf of C is later read-write'd by its panel TRSM or
+    // diagonal GETRF task, which flushes pending updates on entry.
+    engine_.submit(
+        [ap, bp, cp, tp] { hmat::hgemm_deferred(T{-1}, *ap, *bp, *cp, tp); },
+        std::move(acc), 1, "gemm");
   }
 
   rt::Engine& engine_;

@@ -1,48 +1,73 @@
 // Structured updates of H-matrix nodes:
-//   add_rk_to:    C += alpha * (U V^H), distributing the factors down the
-//                 block tree with rounded additions at Rk leaves;
+//   add_rk_to:    C += alpha * (U V^H), distributing the factor views down
+//                 the block tree (no copies until a leaf) with lazy
+//                 accumulation at Rk leaves;
 //   add_dense_to: C += alpha * D for a dense D;
-//   to_rk:        agglomerate an arbitrary H-node into a single RkMatrix.
+//   to_rk:        agglomerate an arbitrary H-node into a single RkMatrix;
+//   flush_pending: force every Rk leaf's accumulated updates through
+//                 truncation (the end-of-task flush of the lazy scheme).
 // These are the primitives that let H-GEMM land products on targets whose
 // structure differs from the operands'.
 #pragma once
 
 #include "hmatrix/hmatrix.hpp"
+#include "rk/accumulator.hpp"
 #include "rk/truncation.hpp"
 
 namespace hcham::hmat {
+
+/// C += alpha * u * v^H, distributing row/column slices of the factor
+/// views down the block tree. Nothing is copied until a leaf: Full leaves
+/// take a GEMM, Rk leaves defer through the lazy accumulator.
+template <typename T>
+void add_rk_to(HMatrix<T>& c, T alpha, la::ConstMatrixView<T> u,
+               la::ConstMatrixView<T> v, const rk::TruncationParams& tp) {
+  HCHAM_CHECK(c.rows() == u.rows() && c.cols() == v.rows() &&
+              u.cols() == v.cols());
+  const index_t k = u.cols();
+  if (k == 0 || alpha == T{}) return;
+  switch (c.kind()) {
+    case HMatrix<T>::Kind::Full:
+      la::gemm(la::Op::NoTrans, la::Op::ConjTrans, alpha, u, v, T{1},
+               c.full().view());
+      return;
+    case HMatrix<T>::Kind::Rk:
+      rk::accumulate_factors(c.rk(), alpha, u, v, tp);
+      return;
+    case HMatrix<T>::Kind::Hierarchical: {
+      const index_t r0 = c.child(0, 0).rows();
+      const index_t c0 = c.child(0, 0).cols();
+      for (int i = 0; i < 2; ++i)
+        for (int j = 0; j < 2; ++j) {
+          HMatrix<T>& ch = c.child(i, j);
+          add_rk_to(ch, alpha,
+                    u.block(i == 0 ? 0 : r0, 0, ch.rows(), k),
+                    v.block(j == 0 ? 0 : c0, 0, ch.cols(), k), tp);
+        }
+      return;
+    }
+  }
+}
 
 template <typename T>
 void add_rk_to(HMatrix<T>& c, T alpha, const rk::RkMatrix<T>& r,
                const rk::TruncationParams& tp) {
   HCHAM_CHECK(c.rows() == r.rows() && c.cols() == r.cols());
   if (r.is_zero() || alpha == T{}) return;
-  switch (c.kind()) {
-    case HMatrix<T>::Kind::Full:
-      r.add_to(alpha, c.full().view());
-      return;
-    case HMatrix<T>::Kind::Rk:
-      rk::rounded_add(c.rk(), alpha, r, tp);
-      return;
-    case HMatrix<T>::Kind::Hierarchical: {
-      const index_t r0 = c.child(0, 0).rows();
-      const index_t c0 = c.child(0, 0).cols();
-      const index_t k = r.rank();
-      for (int i = 0; i < 2; ++i)
-        for (int j = 0; j < 2; ++j) {
-          HMatrix<T>& ch = c.child(i, j);
-          // Row slices of the factors restricted to the child block.
-          la::Matrix<T> u(ch.rows(), k), v(ch.cols(), k);
-          la::copy<T>(r.u().block(i == 0 ? 0 : r0, 0, ch.rows(), k),
-                      u.view());
-          la::copy<T>(r.v().block(j == 0 ? 0 : c0, 0, ch.cols(), k),
-                      v.view());
-          add_rk_to(ch, alpha, rk::RkMatrix<T>(std::move(u), std::move(v)),
-                    tp);
-        }
-      return;
-    }
+  add_rk_to(c, alpha, r.u().cview(), r.v().cview(), tp);
+}
+
+/// Consuming overload: an Rk target can absorb the factors by move.
+template <typename T>
+void add_rk_to(HMatrix<T>& c, T alpha, rk::RkMatrix<T>&& r,
+               const rk::TruncationParams& tp) {
+  HCHAM_CHECK(c.rows() == r.rows() && c.cols() == r.cols());
+  if (r.is_zero() || alpha == T{}) return;
+  if (c.kind() == HMatrix<T>::Kind::Rk) {
+    rk::accumulate(c.rk(), alpha, std::move(r), tp);
+    return;
   }
+  add_rk_to(c, alpha, r.u().cview(), r.v().cview(), tp);
 }
 
 template <typename T>
@@ -55,7 +80,7 @@ void add_dense_to(HMatrix<T>& c, T alpha, la::ConstMatrixView<T> d,
       la::axpy(alpha, d, c.full().view());
       return;
     case HMatrix<T>::Kind::Rk:
-      rk::rounded_add(c.rk(), alpha, rk::compress_svd(d, tp), tp);
+      rk::accumulate(c.rk(), alpha, rk::compress_svd(d, tp), tp);
       return;
     case HMatrix<T>::Kind::Hierarchical: {
       const index_t r0 = c.child(0, 0).rows();
@@ -71,6 +96,50 @@ void add_dense_to(HMatrix<T>& c, T alpha, la::ConstMatrixView<T> d,
       return;
     }
   }
+}
+
+/// Force every Rk leaf's pending accumulated updates through truncation.
+/// Cheap on untouched blocks: leaves without pending columns are skipped.
+template <typename T>
+void flush_pending(HMatrix<T>& c, const rk::TruncationParams& tp) {
+  switch (c.kind()) {
+    case HMatrix<T>::Kind::Full:
+      return;
+    case HMatrix<T>::Kind::Rk:
+      rk::flush_pending(c.rk(), tp);
+      return;
+    case HMatrix<T>::Kind::Hierarchical:
+      for (int i = 0; i < 2; ++i)
+        for (int j = 0; j < 2; ++j) flush_pending(c.child(i, j), tp);
+      return;
+  }
+}
+
+/// Stack a 2 x 2 grid of block-local Rk parts into one (rows x cols)
+/// RkMatrix -- factors placed block-diagonally at row offset r0 / column
+/// offset c0 -- and re-truncate. Shared by to_rk and product_rk.
+template <typename T>
+rk::RkMatrix<T> combine_rk_2x2(rk::RkMatrix<T> (&parts)[2][2], index_t rows,
+                               index_t cols, index_t r0, index_t c0,
+                               const rk::TruncationParams& tp) {
+  index_t total_rank = 0;
+  for (int i = 0; i < 2; ++i)
+    for (int j = 0; j < 2; ++j) total_rank += parts[i][j].rank();
+  la::Matrix<T> u(rows, total_rank), v(cols, total_rank);
+  index_t col = 0;
+  for (int i = 0; i < 2; ++i)
+    for (int j = 0; j < 2; ++j) {
+      const rk::RkMatrix<T>& p = parts[i][j];
+      if (p.rank() == 0) continue;
+      la::copy<T>(p.u().cview(),
+                  u.block(i == 0 ? 0 : r0, col, p.rows(), p.rank()));
+      la::copy<T>(p.v().cview(),
+                  v.block(j == 0 ? 0 : c0, col, p.cols(), p.rank()));
+      col += p.rank();
+    }
+  rk::RkMatrix<T> result(std::move(u), std::move(v));
+  rk::truncate(result, tp);
+  return result;
 }
 
 /// Agglomerate an H-node into one RkMatrix at the given accuracy. Children
@@ -90,29 +159,10 @@ rk::RkMatrix<T> to_rk(const HMatrix<T>& h, const rk::TruncationParams& tp) {
     }
     case HMatrix<T>::Kind::Hierarchical: {
       rk::RkMatrix<T> parts[2][2];
-      index_t total_rank = 0;
       for (int i = 0; i < 2; ++i)
-        for (int j = 0; j < 2; ++j) {
-          parts[i][j] = to_rk(h.child(i, j), tp);
-          total_rank += parts[i][j].rank();
-        }
-      const index_t r0 = h.child(0, 0).rows();
-      const index_t c0 = h.child(0, 0).cols();
-      la::Matrix<T> u(h.rows(), total_rank), v(h.cols(), total_rank);
-      index_t col = 0;
-      for (int i = 0; i < 2; ++i)
-        for (int j = 0; j < 2; ++j) {
-          const rk::RkMatrix<T>& p = parts[i][j];
-          if (p.rank() == 0) continue;
-          la::copy<T>(p.u().cview(),
-                      u.block(i == 0 ? 0 : r0, col, p.rows(), p.rank()));
-          la::copy<T>(p.v().cview(),
-                      v.block(j == 0 ? 0 : c0, col, p.cols(), p.rank()));
-          col += p.rank();
-        }
-      rk::RkMatrix<T> result(std::move(u), std::move(v));
-      rk::truncate(result, tp);
-      return result;
+        for (int j = 0; j < 2; ++j) parts[i][j] = to_rk(h.child(i, j), tp);
+      return combine_rk_2x2(parts, h.rows(), h.cols(), h.child(0, 0).rows(),
+                            h.child(0, 0).cols(), tp);
     }
   }
   return rk::RkMatrix<T>(h.rows(), h.cols());

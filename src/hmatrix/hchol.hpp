@@ -59,6 +59,8 @@ void htrsm_lower_right_adjoint(const HMatrix<T>& l, HMatrix<T>& b,
       solve_lower_right_adjoint_dense(l, b.full().view());
       return;
     case HMatrix<T>::Kind::Rk:
+      // Flush-on-read before solving on the factors.
+      rk::flush_pending(b.rk(), tp);
       // (U V^H) L^-H = U (L^-1 V)^H: rank preserved exactly.
       if (!b.rk().is_zero())
         solve_lower_left(l, b.rk().v().view(), la::Diag::NonUnit);
@@ -67,9 +69,9 @@ void htrsm_lower_right_adjoint(const HMatrix<T>& l, HMatrix<T>& b,
       HCHAM_CHECK(l.is_hierarchical());
       for (int i = 0; i < 2; ++i) {
         htrsm_lower_right_adjoint(l.child(0, 0), b.child(i, 0), tp);
-        // B_i1 -= B_i0 * L10^H.
+        // B_i1 -= B_i0 * L10^H. Deferred: flushed by the trailing solve.
         HMatrix<T> l10h = adjoint_of(l.child(1, 0));
-        hgemm(T{-1}, b.child(i, 0), l10h, b.child(i, 1), tp);
+        hgemm_deferred(T{-1}, b.child(i, 0), l10h, b.child(i, 1), tp);
         htrsm_lower_right_adjoint(l.child(1, 1), b.child(i, 1), tp);
       }
       return;
@@ -92,9 +94,9 @@ int hchol(HMatrix<T>& a, const rk::TruncationParams& tp) {
       int info = hchol(a.child(0, 0), tp);
       if (info != 0) return info;
       htrsm_lower_right_adjoint(a.child(0, 0), a.child(1, 0), tp);
-      // A11 -= A10 * A10^H.
+      // A11 -= A10 * A10^H. Deferred: flushed by the recursion below.
       HMatrix<T> a10h = adjoint_of(a.child(1, 0));
-      hgemm(T{-1}, a.child(1, 0), a10h, a.child(1, 1), tp);
+      hgemm_deferred(T{-1}, a.child(1, 0), a10h, a.child(1, 1), tp);
       info = hchol(a.child(1, 1), tp);
       return info == 0 ? 0
                        : info + static_cast<int>(a.child(0, 0).rows());

@@ -79,35 +79,22 @@ rk::RkMatrix<T> product_rk(const HMatrix<T>& a, const HMatrix<T>& b,
     la::Matrix<T> ad = a.to_dense();
     return rk::RkMatrix<T>(std::move(ad), adjoint<T>(b.full().cview()));
   }
-  // Both hierarchical: form the 2 x 2 block products, then agglomerate.
+  // Both hierarchical: form the 2 x 2 block products (accumulated lazily
+  // per part), then agglomerate. The parts are flushed before stacking:
+  // the 2 x 2 concatenation is itself a rank doubling, and stacking
+  // unflushed tails would push the joint truncation toward dense cost.
   rk::RkMatrix<T> parts[2][2];
-  index_t total_rank = 0;
   for (int i = 0; i < 2; ++i)
     for (int j = 0; j < 2; ++j) {
       rk::RkMatrix<T> p(a.child(i, 0).rows(), b.child(0, j).cols());
+      rk::Accumulator<T> acc(p, tp);
       for (int k = 0; k < 2; ++k)
-        rk::rounded_add(p, T{1},
-                        product_rk(a.child(i, k), b.child(k, j), tp), tp);
-      total_rank += p.rank();
+        acc.add(T{1}, product_rk(a.child(i, k), b.child(k, j), tp));
+      acc.flush();
       parts[i][j] = std::move(p);
     }
-  const index_t r0 = a.child(0, 0).rows();
-  const index_t c0 = b.child(0, 0).cols();
-  la::Matrix<T> u(m, total_rank), v(n, total_rank);
-  index_t col = 0;
-  for (int i = 0; i < 2; ++i)
-    for (int j = 0; j < 2; ++j) {
-      const rk::RkMatrix<T>& p = parts[i][j];
-      if (p.rank() == 0) continue;
-      la::copy<T>(p.u().cview(),
-                  u.block(i == 0 ? 0 : r0, col, p.rows(), p.rank()));
-      la::copy<T>(p.v().cview(),
-                  v.block(j == 0 ? 0 : c0, col, p.cols(), p.rank()));
-      col += p.rank();
-    }
-  rk::RkMatrix<T> result(std::move(u), std::move(v));
-  rk::truncate(result, tp);
-  return result;
+  return combine_rk_2x2(parts, m, n, a.child(0, 0).rows(),
+                        b.child(0, 0).cols(), tp);
 }
 
 /// Y = op(A) * X for an operand that may be an H-node or dense.
@@ -143,19 +130,14 @@ void hgemm_impl(T alpha, Opnd<T> a, Opnd<T> b, HMatrix<T>& c,
       la::Matrix<T> w(c.rows(), rb.rank());
       la::gemm(la::Op::NoTrans, la::Op::NoTrans, T{1}, ra.u().cview(),
                s.cview(), T{}, w.view());
-      add_rk_to(c, alpha,
-                rk::RkMatrix<T>(std::move(w),
-                                la::Matrix<T>::from_view(rb.v().cview())),
-                tp);
+      // Pass rb's V factor through by view -- no deep copy of the operand.
+      add_rk_to(c, alpha, w.cview(), rb.v().cview(), tp);
       return;
     }
     // A B = Ua (B^H Va)^H.
     la::Matrix<T> m(b.cols(), k);
     opnd_matmat(la::Op::ConjTrans, b, ra.v().cview(), m.view());
-    add_rk_to(c, alpha,
-              rk::RkMatrix<T>(la::Matrix<T>::from_view(ra.u().cview()),
-                              std::move(m)),
-              tp);
+    add_rk_to(c, alpha, ra.u().cview(), m.cview(), tp);
     return;
   }
   if (b.is_h() && b.h->is_rk()) {
@@ -164,10 +146,7 @@ void hgemm_impl(T alpha, Opnd<T> a, Opnd<T> b, HMatrix<T>& c,
     // A B = (A Ub) Vb^H.
     la::Matrix<T> w(c.rows(), rb.rank());
     opnd_matmat(la::Op::NoTrans, a, rb.u().cview(), w.view());
-    add_rk_to(c, alpha,
-              rk::RkMatrix<T>(std::move(w),
-                              la::Matrix<T>::from_view(rb.v().cview())),
-              tp);
+    add_rk_to(c, alpha, w.cview(), rb.v().cview(), tp);
     return;
   }
 
@@ -251,22 +230,18 @@ void hgemm_impl(T alpha, Opnd<T> a, Opnd<T> b, HMatrix<T>& c,
         } else {
           la::copy(b.d, bd.view());
         }
-        rk::rounded_add(c.rk(), alpha,
-                        rk::RkMatrix<T>(la::Matrix<T>::from_view(a.d),
-                                        adjoint<T>(bd.cview())),
-                        tp);
+        rk::accumulate_factors(c.rk(), alpha, a.d,
+                               adjoint<T>(bd.cview()).cview(), tp);
       } else if (!b.is_h()) {
         // product = A * b.d = Rk(to_dense(A), b.d^H); inner dim is small.
         la::Matrix<T> ad = a.h->to_dense();
-        rk::rounded_add(c.rk(), alpha,
-                        rk::RkMatrix<T>(std::move(ad), adjoint<T>(b.d)),
-                        tp);
+        rk::accumulate(c.rk(), alpha,
+                       rk::RkMatrix<T>(std::move(ad), adjoint<T>(b.d)), tp);
       } else {
         // Both subdivided: agglomerate the PRODUCT bottom-up (recursive
         // block products combined into one Rk), which is much cheaper
         // than agglomerating an operand whose rank may be large.
-        rk::RkMatrix<T> p = product_rk(*a.h, *b.h, tp);
-        rk::rounded_add(c.rk(), alpha, p, tp);
+        rk::accumulate(c.rk(), alpha, product_rk(*a.h, *b.h, tp), tp);
       }
       return;
     }
@@ -275,14 +250,26 @@ void hgemm_impl(T alpha, Opnd<T> a, Opnd<T> b, HMatrix<T>& c,
 
 }  // namespace detail
 
-/// C += alpha * A * B with rounding accuracy tp.
+/// C += alpha * A * B, leaving Rk leaves of C with pending (exact, lazily
+/// accumulated) updates. The caller -- or the next panel operation reading
+/// C -- is responsible for flush_pending(c, tp). This is the form the
+/// factorization kernels use between their own flush points.
 template <typename T>
-void hgemm(T alpha, const HMatrix<T>& a, const HMatrix<T>& b, HMatrix<T>& c,
-           const rk::TruncationParams& tp) {
+void hgemm_deferred(T alpha, const HMatrix<T>& a, const HMatrix<T>& b,
+                    HMatrix<T>& c, const rk::TruncationParams& tp) {
   HCHAM_CHECK(a.rows() == c.rows() && b.cols() == c.cols() &&
               a.cols() == b.rows());
   detail::hgemm_impl(alpha, detail::Opnd<T>::node(a), detail::Opnd<T>::node(b),
                      c, tp);
+}
+
+/// C += alpha * A * B with rounding accuracy tp; C is fully truncated on
+/// return.
+template <typename T>
+void hgemm(T alpha, const HMatrix<T>& a, const HMatrix<T>& b, HMatrix<T>& c,
+           const rk::TruncationParams& tp) {
+  hgemm_deferred(alpha, a, b, c, tp);
+  flush_pending(c, tp);
 }
 
 }  // namespace hcham::hmat

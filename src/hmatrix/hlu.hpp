@@ -31,8 +31,9 @@ int hlu(HMatrix<T>& a, const rk::TruncationParams& tp) {
       // U panel: A01 <- L00^-1 A01; L panel: A10 <- A10 U00^-1.
       htrsm_lower_left(a.child(0, 0), a.child(0, 1), tp);
       htrsm_upper_right(a.child(0, 0), a.child(1, 0), tp);
-      // Schur complement: A11 -= A10 A01.
-      hgemm(T{-1}, a.child(1, 0), a.child(0, 1), a.child(1, 1), tp);
+      // Schur complement: A11 -= A10 A01. Deferred: every Rk leaf of A11
+      // is flushed by the panel solves / recursion of hlu(A11) below.
+      hgemm_deferred(T{-1}, a.child(1, 0), a.child(0, 1), a.child(1, 1), tp);
       info = hlu(a.child(1, 1), tp);
       return info == 0 ? 0
                        : info + static_cast<int>(a.child(0, 0).rows());

@@ -125,6 +125,9 @@ void htrsm_lower_left(const HMatrix<T>& l, HMatrix<T>& b,
       solve_lower_left(l, b.full().view());
       return;
     case HMatrix<T>::Kind::Rk:
+      // Flush-on-read: fold any pending accumulated updates into the
+      // factors before solving on them.
+      rk::flush_pending(b.rk(), tp);
       // L^-1 (U V^H) = (L^-1 U) V^H: rank is preserved exactly.
       if (!b.rk().is_zero()) solve_lower_left(l, b.rk().u().view());
       return;
@@ -133,7 +136,9 @@ void htrsm_lower_left(const HMatrix<T>& l, HMatrix<T>& b,
       HCHAM_CHECK(l.is_hierarchical());
       for (int j = 0; j < 2; ++j) {
         htrsm_lower_left(l.child(0, 0), b.child(0, j), tp);
-        hgemm(T{-1}, l.child(1, 0), b.child(0, j), b.child(1, j), tp);
+        // Deferred: the trailing solve flushes b.child(1, j) on read.
+        hgemm_deferred(T{-1}, l.child(1, 0), b.child(0, j), b.child(1, j),
+                       tp);
         htrsm_lower_left(l.child(1, 1), b.child(1, j), tp);
       }
       return;
@@ -151,6 +156,8 @@ void htrsm_upper_right(const HMatrix<T>& u, HMatrix<T>& b,
       solve_upper_right_dense(u, b.full().view());
       return;
     case HMatrix<T>::Kind::Rk:
+      // Flush-on-read before solving on the factors.
+      rk::flush_pending(b.rk(), tp);
       // (U_b V^H) U^-1 = U_b (U^-H V)^H: rank is preserved exactly.
       if (!b.rk().is_zero())
         solve_upper_conjtrans_left(u, b.rk().v().view());
@@ -159,7 +166,8 @@ void htrsm_upper_right(const HMatrix<T>& u, HMatrix<T>& b,
       HCHAM_CHECK(u.is_hierarchical());
       for (int i = 0; i < 2; ++i) {
         htrsm_upper_right(u.child(0, 0), b.child(i, 0), tp);
-        hgemm(T{-1}, b.child(i, 0), u.child(0, 1), b.child(i, 1), tp);
+        hgemm_deferred(T{-1}, b.child(i, 0), u.child(0, 1), b.child(i, 1),
+                       tp);
         htrsm_upper_right(u.child(1, 1), b.child(i, 1), tp);
       }
       return;

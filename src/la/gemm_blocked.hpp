@@ -39,6 +39,7 @@
 #include "common/scalar.hpp"
 #include "la/blas_defs.hpp"
 #include "la/view.hpp"
+#include "la/workspace.hpp"
 
 namespace hcham::la {
 
@@ -112,47 +113,12 @@ struct GemmMicroShape {
 };
 
 // ---------------------------------------------------------------------------
-// Per-thread packing workspace (aligned, reused across calls).
+// Packing buffers come from the per-thread workspace arena (workspace.hpp):
+// 64-byte aligned, retained across calls by the arena's chunk reuse, with a
+// plain-allocation fallback on threads that hold no arena lease.
 // ---------------------------------------------------------------------------
 
 namespace detail {
-
-/// Minimal 64-byte-aligned allocator so packed panels start on a cache/SIMD
-/// boundary without giving up std::vector's lifetime management.
-template <typename T>
-struct PackAllocator {
-  using value_type = T;
-  static constexpr std::size_t alignment = 64;
-  PackAllocator() = default;
-  template <typename U>
-  PackAllocator(const PackAllocator<U>&) {}  // NOLINT(google-explicit-constructor)
-  T* allocate(std::size_t n) {
-    return static_cast<T*>(
-        ::operator new(n * sizeof(T), std::align_val_t(alignment)));
-  }
-  void deallocate(T* p, std::size_t) {
-    ::operator delete(p, std::align_val_t(alignment));
-  }
-  template <typename U>
-  bool operator==(const PackAllocator<U>&) const { return true; }
-};
-
-template <typename T>
-using PackVector = std::vector<T, PackAllocator<T>>;
-
-/// Reusable per-thread buffers for the packed A block and B panel. Grown on
-/// demand, never shrunk, so steady-state GEMM calls do not allocate.
-template <typename T>
-struct PackWorkspace {
-  PackVector<T> a;
-  PackVector<T> b;
-};
-
-template <typename T>
-PackWorkspace<T>& pack_workspace() {
-  static thread_local PackWorkspace<T> ws;
-  return ws;
-}
 
 /// Element (i, l) of op(A) where `a` is the untransposed view.
 template <typename T>
@@ -395,26 +361,26 @@ void gemm_blocked_real(Op opa, Op opb, T alpha, ConstMatrixView<T> a,
   const index_t kc = tune.kc;
   const index_t nc = std::max(nr, tune.nc - tune.nc % nr);
 
-  auto& ws = pack_workspace<T>();
-  ws.a.resize(static_cast<std::size_t>(ceil_div(std::min(mc, m), mr) * mr *
-                                       std::min(kc, k)));
-  ws.b.resize(static_cast<std::size_t>(ceil_div(std::min(nc, n), nr) * nr *
-                                       std::min(kc, k)));
+  WorkspaceScope ws;
+  T* const pack_a_buf =
+      ws.alloc<T>(ceil_div(std::min(mc, m), mr) * mr * std::min(kc, k));
+  T* const pack_b_buf =
+      ws.alloc<T>(ceil_div(std::min(nc, n), nr) * nr * std::min(kc, k));
 
   for (index_t jc = 0; jc < n; jc += nc) {
     const index_t ncb = std::min(nc, n - jc);
     for (index_t pc = 0; pc < k; pc += kc) {
       const index_t kcb = std::min(kc, k - pc);
-      pack_b(b, opb, pc, jc, kcb, ncb, ws.b.data());
+      pack_b(b, opb, pc, jc, kcb, ncb, pack_b_buf);
       for (index_t ic = 0; ic < m; ic += mc) {
         const index_t mcb = std::min(mc, m - ic);
-        pack_a(a, opa, alpha, ic, pc, mcb, kcb, ws.a.data());
+        pack_a(a, opa, alpha, ic, pc, mcb, kcb, pack_a_buf);
         for (index_t q = 0; q < ncb; q += nr) {
           const index_t nrb = std::min(nr, ncb - q);
-          const T* bpanel = ws.b.data() + q * kcb;
+          const T* bpanel = pack_b_buf + q * kcb;
           for (index_t p = 0; p < mcb; p += mr) {
             const index_t mrb = std::min(mr, mcb - p);
-            const T* apanel = ws.a.data() + p * kcb;
+            const T* apanel = pack_a_buf + p * kcb;
             if (mrb == mr && nrb == nr) {
               microkernel<T, mr, nr>(kcb, apanel, bpanel, &c(ic + p, jc + q),
                                      c.ld());
@@ -458,28 +424,28 @@ void gemm_blocked_complex(Op opa, Op opb, T alpha, ConstMatrixView<T> a,
   R* const cr = reinterpret_cast<R*>(c.data());
   const index_t ldc_r = 2 * c.ld();
 
-  auto& ws = pack_workspace<R>();
-  ws.a.resize(static_cast<std::size_t>(ceil_div(std::min(2 * mc_c, 2 * m), mr) *
-                                       mr * 2 * std::min(kc_c, k)));
-  ws.b.resize(static_cast<std::size_t>(ceil_div(std::min(nc, n), nr) * nr * 2 *
-                                       std::min(kc_c, k)));
+  WorkspaceScope ws;
+  R* const pack_a_buf = ws.alloc<R>(ceil_div(std::min(2 * mc_c, 2 * m), mr) *
+                                    mr * 2 * std::min(kc_c, k));
+  R* const pack_b_buf = ws.alloc<R>(ceil_div(std::min(nc, n), nr) * nr * 2 *
+                                    std::min(kc_c, k));
 
   for (index_t jc = 0; jc < n; jc += nc) {
     const index_t ncb = std::min(nc, n - jc);
     for (index_t pc = 0; pc < k; pc += kc_c) {
       const index_t kcb = std::min(kc_c, k - pc);
       const index_t kcb_r = 2 * kcb;
-      pack_b_1m(b, opb, pc, jc, kcb, ncb, ws.b.data());
+      pack_b_1m(b, opb, pc, jc, kcb, ncb, pack_b_buf);
       for (index_t ic = 0; ic < m; ic += mc_c) {
         const index_t mcb = std::min(mc_c, m - ic);
         const index_t mcb_r = 2 * mcb;
-        pack_a_1m(a, opa, alpha, ic, pc, mcb, kcb, ws.a.data());
+        pack_a_1m(a, opa, alpha, ic, pc, mcb, kcb, pack_a_buf);
         for (index_t q = 0; q < ncb; q += nr) {
           const index_t nrb = std::min(nr, ncb - q);
-          const R* bpanel = ws.b.data() + q * kcb_r;
+          const R* bpanel = pack_b_buf + q * kcb_r;
           for (index_t p = 0; p < mcb_r; p += mr) {
             const index_t mrb = std::min(mr, mcb_r - p);
-            const R* apanel = ws.a.data() + p * kcb_r;
+            const R* apanel = pack_a_buf + p * kcb_r;
             R* ctile = cr + (2 * ic + p) + (jc + q) * ldc_r;
             if (mrb == mr && nrb == nr) {
               microkernel<R, mr, nr>(kcb_r, apanel, bpanel, ctile, ldc_r);

@@ -58,6 +58,26 @@ class Matrix {
   void set_zero() { view().set_zero(); }
   void set_identity() { view().set_identity(); }
 
+  /// Grow by `extra` zero columns in place. Because the layout is
+  /// column-major with ld == rows, existing entries keep their positions:
+  /// this is what makes appending low-rank factor columns cheap (amortized
+  /// by the vector's geometric growth), the key enabler of lazy rounded
+  /// addition.
+  void append_cols(index_t extra) {
+    HCHAM_CHECK(extra >= 0);
+    data_.resize(static_cast<std::size_t>(rows_ * (cols_ + extra)));
+    cols_ += extra;
+  }
+
+  /// Drop trailing columns in place (same layout argument as append_cols:
+  /// the kept entries do not move). Used when a compacted factor tail
+  /// replaces a wider pending one.
+  void shrink_cols(index_t new_cols) {
+    HCHAM_CHECK(new_cols >= 0 && new_cols <= cols_);
+    data_.resize(static_cast<std::size_t>(rows_ * new_cols));
+    cols_ = new_cols;
+  }
+
   /// Resize, discarding contents.
   void reset(index_t rows, index_t cols) {
     HCHAM_CHECK(rows >= 0 && cols >= 0);

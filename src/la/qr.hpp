@@ -22,6 +22,7 @@
 #include "la/matrix.hpp"
 #include "la/norms.hpp"
 #include "la/view.hpp"
+#include "la/workspace.hpp"
 
 namespace hcham::la {
 
@@ -129,12 +130,12 @@ void larfb_left_ctrans(ConstMatrixView<T> v, ConstMatrixView<T> t,
                        MatrixView<T> c) {
   const index_t k = v.cols();
   const index_t n = c.cols();
-  Matrix<T> w(k, n);
-  gemm(Op::ConjTrans, Op::NoTrans, T{1}, v, ConstMatrixView<T>(c), T{},
-       w.view());
-  Matrix<T> w2(k, n);
-  gemm(Op::ConjTrans, Op::NoTrans, T{1}, t, w.cview(), T{}, w2.view());
-  gemm(Op::NoTrans, Op::NoTrans, T{-1}, v, w2.cview(), T{1}, c);
+  WorkspaceScope ws;
+  MatrixView<T> w = ws.matrix<T>(k, n);
+  gemm(Op::ConjTrans, Op::NoTrans, T{1}, v, ConstMatrixView<T>(c), T{}, w);
+  MatrixView<T> w2 = ws.matrix<T>(k, n);
+  gemm(Op::ConjTrans, Op::NoTrans, T{1}, t, ConstMatrixView<T>(w), T{}, w2);
+  gemm(Op::NoTrans, Op::NoTrans, T{-1}, v, ConstMatrixView<T>(w2), T{1}, c);
 }
 
 }  // namespace detail
@@ -152,8 +153,9 @@ void geqrf(MatrixView<T> a, T* tau, index_t nb = kernel_tuning().qr_nb) {
     detail::geqrf_unblocked(a, tau);
     return;
   }
-  Matrix<T> t(nb, nb);
-  Matrix<T> vfull(m, nb);
+  WorkspaceScope ws;
+  MatrixView<T> t = ws.matrix<T>(nb, nb);
+  MatrixView<T> vfull = ws.matrix<T>(m, nb);
   for (index_t j = 0; j < k; j += nb) {
     const index_t jb = std::min(nb, k - j);
     MatrixView<T> panel = a.block(j, j, m - j, jb);
@@ -172,44 +174,145 @@ void geqrf(MatrixView<T> a, T* tau, index_t nb = kernel_tuning().qr_nb) {
         for (index_t i = jj + 1; i < m - j; ++i) vj[i] = pj[i];
       }
       detail::larfb_left_ctrans(ConstMatrixView<T>(v),
-                                std::as_const(t).block(0, 0, jb, jb),
+                                ConstMatrixView<T>(t).block(0, 0, jb, jb),
                                 a.block(j, j + jb, m - j, n - j - jb));
     }
   }
 }
 
-/// Form the thin Q factor (m x k) from the output of geqrf.
-/// a is the factored matrix (reflectors below the diagonal), k <= min(m, n).
+/// Form the thin Q factor (m x k) from the output of geqrf into `q`
+/// (m x k, fully overwritten). a is the factored matrix (reflectors below
+/// the diagonal), k <= min(m, n).
 template <typename T>
-Matrix<T> orgqr(ConstMatrixView<T> a, const T* tau, index_t k) {
+void orgqr_into(ConstMatrixView<T> a, const T* tau, index_t k,
+                MatrixView<T> q) {
   const index_t m = a.rows();
   HCHAM_CHECK(k <= a.cols() && k <= m);
-  Matrix<T> q(m, k);
+  HCHAM_CHECK(q.rows() == m && q.cols() == k);
   q.set_identity();
   for (index_t i = k - 1; i >= 0; --i) {
     detail::apply_reflector(m - i > 1 ? &a(i + 1, i) : nullptr, m - i, tau[i],
                             /*conj_tau=*/false,
                             q.block(i, i, m - i, k - i));
   }
+}
+
+/// Form the thin Q factor (m x k) from the output of geqrf.
+template <typename T>
+Matrix<T> orgqr(ConstMatrixView<T> a, const T* tau, index_t k) {
+  Matrix<T> q(a.rows(), k);
+  orgqr_into(a, tau, k, q.view());
   return q;
 }
 
-/// Thin QR convenience wrapper: A (m x n) -> Q (m x k), R (k x k upper),
-/// k = min(m, n). A is not modified.
+/// Thin QR into caller-provided storage: A (m x n) -> Q (m x k), R (k x n,
+/// upper trapezoidal, fully overwritten), k = min(m, n). A is not modified;
+/// scratch comes from the thread's workspace arena.
+template <typename T>
+void qr_thin_ws(ConstMatrixView<T> a, MatrixView<T> q, MatrixView<T> r) {
+  const index_t m = a.rows();
+  const index_t n = a.cols();
+  const index_t k = m < n ? m : n;
+  HCHAM_CHECK(q.rows() == m && q.cols() == k);
+  HCHAM_CHECK(r.rows() == k && r.cols() == n);
+  WorkspaceScope ws;
+  MatrixView<T> work = ws.matrix<T>(m, n);
+  copy(a, work);
+  T* tau = ws.alloc<T>(k);
+  geqrf(work, tau);
+  orgqr_into(ConstMatrixView<T>(work), tau, k, q);
+  r.set_zero();
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i <= (j < k - 1 ? j : k - 1); ++i)
+      r(i, j) = work(i, j);
+}
+
+/// Greedy column-pivoted truncated QR via modified Gram-Schmidt:
+/// a (m x n) ~= q(:, 0:r) * rr(0:r, :) with rr's columns kept in ORIGINAL
+/// order (no permutation to undo). The factorization stops as soon as the
+/// largest remaining column norm falls below rtol times the first pivot
+/// norm (or at max_rank >= 0 columns), so the cost is O(m n r) -- linear
+/// in the revealed rank r rather than cubic in n. The dropped residual is
+/// column-wise below rtol * |first pivot|, which makes this the right tool
+/// for rank CONTROL of intermediate accumulations; final accuracy-bearing
+/// truncations should keep using the SVD path.
+///
+/// q must be at least m x min(m, n) (first r columns written, orthonormal),
+/// rr at least min(m, n) x n (fully zeroed, first r rows filled). Returns r.
+template <typename T>
+index_t qr_pivoted_rank(ConstMatrixView<T> a, MatrixView<T> q,
+                        MatrixView<T> rr, double rtol,
+                        index_t max_rank = -1) {
+  using R = real_t<T>;
+  const index_t m = a.rows();
+  const index_t n = a.cols();
+  index_t kmax = m < n ? m : n;
+  if (max_rank >= 0 && max_rank < kmax) kmax = max_rank;
+  HCHAM_CHECK(q.rows() == m && q.cols() >= kmax);
+  HCHAM_CHECK(rr.rows() >= kmax && rr.cols() == n);
+  rr.set_zero();
+
+  WorkspaceScope ws;
+  MatrixView<T> w = ws.matrix<T>(m, n);
+  copy(a, w);
+  char* used = ws.alloc<char>(n);
+  for (index_t j = 0; j < n; ++j) used[j] = 0;
+
+  R norm0{};
+  index_t rank = 0;
+  while (rank < kmax) {
+    // Exact remaining norms (no downdating drift); n and m are small here.
+    index_t p = -1;
+    R best{};
+    for (index_t j = 0; j < n; ++j) {
+      if (used[j]) continue;
+      const R nj = nrm2(m, w.col(j));
+      if (p < 0 || nj > best) {
+        best = nj;
+        p = j;
+      }
+    }
+    if (rank == 0) norm0 = best;
+    if (p < 0 || !(best > R(rtol) * norm0)) break;
+    T* wp = w.col(p);
+    // One re-orthogonalization pass keeps MGS honest on graded columns.
+    for (index_t l = 0; l < rank; ++l) {
+      const T* ql = q.col(l);
+      T cl{};
+      for (index_t i = 0; i < m; ++i) cl += conj_if(ql[i]) * wp[i];
+      rr(l, p) += cl;
+      for (index_t i = 0; i < m; ++i) wp[i] -= ql[i] * cl;
+    }
+    const R pn = nrm2(m, wp);
+    used[p] = 1;
+    if (!(pn > R(rtol) * norm0)) continue;  // collapsed under re-orth
+    T* qk = q.col(rank);
+    const R inv = R(1) / pn;
+    for (index_t i = 0; i < m; ++i) qk[i] = wp[i] * T(inv);
+    rr(rank, p) = T(pn);
+    for (index_t j = 0; j < n; ++j) {
+      if (used[j]) continue;
+      T* wj = w.col(j);
+      T cj{};
+      for (index_t i = 0; i < m; ++i) cj += conj_if(qk[i]) * wj[i];
+      rr(rank, j) = cj;
+      for (index_t i = 0; i < m; ++i) wj[i] -= qk[i] * cj;
+    }
+    ++rank;
+  }
+  return rank;
+}
+
+/// Thin QR convenience wrapper with owning outputs: A (m x n) -> Q (m x k),
+/// R (k x n upper), k = min(m, n). A is not modified.
 template <typename T>
 void qr_thin(ConstMatrixView<T> a, Matrix<T>& q, Matrix<T>& r) {
   const index_t m = a.rows();
   const index_t n = a.cols();
   const index_t k = m < n ? m : n;
-  Matrix<T> work = Matrix<T>::from_view(a);
-  std::vector<T> tau(static_cast<std::size_t>(k));
-  geqrf(work.view(), tau.data());
-  q = orgqr(work.cview(), tau.data(), k);
+  q.reset(m, k);
   r.reset(k, n);
-  for (index_t j = 0; j < n; ++j)
-    for (index_t i = 0; i <= (j < k - 1 ? j : k - 1); ++i)
-      r(i, j) = work(i, j);
-  return;
+  qr_thin_ws<T>(a, q.view(), r.view());
 }
 
 }  // namespace hcham::la

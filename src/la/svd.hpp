@@ -20,6 +20,7 @@
 #include "la/matrix.hpp"
 #include "la/norms.hpp"
 #include "la/view.hpp"
+#include "la/workspace.hpp"
 
 namespace hcham::la {
 
@@ -37,7 +38,7 @@ namespace detail {
 /// Core one-sided Jacobi for m >= n. Works in place on `work` (m x n) and
 /// accumulates rotations into `v` (n x n, starts as identity).
 template <typename T>
-void jacobi_sweeps(Matrix<T>& work, Matrix<T>& v) {
+void jacobi_sweeps(MatrixView<T> work, MatrixView<T> v) {
   using R = real_t<T>;
   const index_t m = work.rows();
   const index_t n = work.cols();
@@ -49,8 +50,8 @@ void jacobi_sweeps(Matrix<T>& work, Matrix<T>& v) {
     bool rotated = false;
     for (index_t p = 0; p < n - 1; ++p) {
       for (index_t q = p + 1; q < n; ++q) {
-        T* cp = work.view().col(p);
-        T* cq = work.view().col(q);
+        T* cp = work.col(p);
+        T* cq = work.col(q);
         const R app = norm_fro_sq(m, cp);
         const R aqq = norm_fro_sq(m, cq);
         const T apq = dotc(m, cp, cq);  // cp^H cq
@@ -76,8 +77,8 @@ void jacobi_sweeps(Matrix<T>& work, Matrix<T>& v) {
           cp[i] = T(cs) * wp - T(sn) * wq;
           cq[i] = T(sn) * wp + T(cs) * wq;
         }
-        T* vp = v.view().col(p);
-        T* vq = v.view().col(q);
+        T* vp = v.col(p);
+        T* vq = v.col(q);
         for (index_t i = 0; i < n; ++i) {
           const T wq = vq[i] * phi;
           const T wp = vp[i];
@@ -92,49 +93,52 @@ void jacobi_sweeps(Matrix<T>& work, Matrix<T>& v) {
 
 }  // namespace detail
 
-/// Full (thin) SVD; A is not modified.
+/// Thin SVD into caller-provided storage: A (m x n) = U diag(sigma) V^H
+/// with k = min(m, n); u is m x k, v is n x k, sigma holds k values sorted
+/// decreasing. All outputs are fully overwritten; A is not modified.
+/// Scratch comes from the thread's workspace arena.
 template <typename T>
-SvdResult<T> svd(ConstMatrixView<T> a) {
+void svd_into(ConstMatrixView<T> a, MatrixView<T> u, real_t<T>* sigma_out,
+              MatrixView<T> v) {
   using R = real_t<T>;
   const index_t m = a.rows();
   const index_t n = a.cols();
 
   if (m < n) {
     // SVD of A^H = U' S V'^H  =>  A = V' S U'^H.
-    Matrix<T> ah(n, m);
+    WorkspaceScope ws;
+    MatrixView<T> ah = ws.matrix<T>(n, m);
     for (index_t j = 0; j < m; ++j)
       for (index_t i = 0; i < n; ++i) ah(i, j) = conj_if(a(j, i));
-    SvdResult<T> r = svd<T>(ah.cview());
-    return SvdResult<T>{std::move(r.v), std::move(r.sigma), std::move(r.u)};
+    svd_into<T>(ConstMatrixView<T>(ah), v, sigma_out, u);
+    return;
   }
+  HCHAM_CHECK(u.rows() == m && u.cols() == n);
+  HCHAM_CHECK(v.rows() == n && v.cols() == n);
 
-  Matrix<T> work = Matrix<T>::from_view(a);
-  Matrix<T> v = Matrix<T>::identity(n);
-  detail::jacobi_sweeps(work, v);
+  WorkspaceScope ws;
+  MatrixView<T> work = ws.matrix<T>(m, n);
+  copy(a, work);
+  MatrixView<T> vw = ws.matrix<T>(n, n);
+  vw.set_identity();
+  detail::jacobi_sweeps(work, vw);
 
   // Extract singular values and left vectors.
-  std::vector<R> sigma(static_cast<std::size_t>(n));
-  for (index_t j = 0; j < n; ++j)
-    sigma[static_cast<std::size_t>(j)] = nrm2(m, work.view().col(j));
+  R* sigma = ws.alloc<R>(n);
+  for (index_t j = 0; j < n; ++j) sigma[j] = nrm2(m, work.col(j));
 
   // Sort decreasing.
-  std::vector<index_t> order(static_cast<std::size_t>(n));
-  std::iota(order.begin(), order.end(), index_t{0});
-  std::sort(order.begin(), order.end(), [&](index_t x, index_t y) {
-    return sigma[static_cast<std::size_t>(x)] >
-           sigma[static_cast<std::size_t>(y)];
-  });
+  index_t* order = ws.alloc<index_t>(n);
+  std::iota(order, order + n, index_t{0});
+  std::sort(order, order + n,
+            [&](index_t x, index_t y) { return sigma[x] > sigma[y]; });
 
-  SvdResult<T> result;
-  result.u.reset(m, n);
-  result.v.reset(n, n);
-  result.sigma.resize(static_cast<std::size_t>(n));
   for (index_t j = 0; j < n; ++j) {
-    const index_t src = order[static_cast<std::size_t>(j)];
-    const R s = sigma[static_cast<std::size_t>(src)];
-    result.sigma[static_cast<std::size_t>(j)] = s;
-    const T* wc = work.view().col(src);
-    T* uc = result.u.view().col(j);
+    const index_t src = order[j];
+    const R s = sigma[src];
+    sigma_out[j] = s;
+    const T* wc = work.col(src);
+    T* uc = u.col(j);
     if (s > R{}) {
       const T inv = T(R{1} / s);
       for (index_t i = 0; i < m; ++i) uc[i] = wc[i] * inv;
@@ -143,10 +147,23 @@ SvdResult<T> svd(ConstMatrixView<T> a) {
       // Keep U well-formed for rank-deficient inputs: unit vector.
       if (j < m) uc[j] = T{1};
     }
-    const T* vc = v.view().col(src);
-    T* rvc = result.v.view().col(j);
+    const T* vc = vw.col(src);
+    T* rvc = v.col(j);
     for (index_t i = 0; i < n; ++i) rvc[i] = vc[i];
   }
+}
+
+/// Full (thin) SVD with owning outputs; A is not modified.
+template <typename T>
+SvdResult<T> svd(ConstMatrixView<T> a) {
+  const index_t m = a.rows();
+  const index_t n = a.cols();
+  const index_t k = m < n ? m : n;
+  SvdResult<T> result;
+  result.u.reset(m, k);
+  result.v.reset(n, k);
+  result.sigma.resize(static_cast<std::size_t>(k));
+  svd_into<T>(a, result.u.view(), result.sigma.data(), result.v.view());
   return result;
 }
 

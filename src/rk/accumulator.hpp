@@ -1,0 +1,184 @@
+// Lazy low-rank update accumulation (the "accumulated updates" technique of
+// Börm/Reimer applied to the tiled H-solvers): instead of re-truncating an
+// Rk block after every alpha * U * V^H contribution, pending contributions
+// are collected by factor concatenation directly in the target RkMatrix and
+// a single QR+SVD truncation runs when
+//
+//   - the accumulated rank exceeds the budget (acc_rank_budget), or
+//   - a consumer is about to read the tile (flush-on-read in the H-TRSM /
+//     H-LU panel kernels), or
+//   - the owning task finishes and publishes the tile (flush tasks /
+//     hgemm's trailing flush).
+//
+// The un-truncated state is numerically EXACT -- concatenated factors
+// represent exactly the sum of the contributions -- so a deferred flush can
+// only cost rank (memory/flops), never accuracy. This is what makes the
+// scheme safe to thread through the task-parallel solvers: readers of
+// pending factors compute exact products, and only writers truncate.
+//
+// Runtime control:
+//   HCHAM_ACC_DISABLE=1   fall back to eager rounded additions everywhere
+//   HCHAM_ACC_MAX_RANK=k  override the pending-rank budget (default ~4x the
+//                         truncation rank cap; see acc_rank_budget)
+#pragma once
+
+#include <algorithm>
+
+#include "common/counters.hpp"
+#include "common/env.hpp"
+#include "rk/rk_matrix.hpp"
+#include "rk/truncation.hpp"
+
+namespace hcham::rk {
+
+/// Process-wide accumulator switches, initialized from the environment once
+/// and mutable afterwards (the benchmarks toggle `enabled` to compare eager
+/// vs accumulated runs in one process).
+struct AccumulatorConfig {
+  bool enabled = true;
+  index_t max_rank = 0;  ///< 0 = derive from TruncationParams
+};
+
+inline AccumulatorConfig& acc_config() {
+  static AccumulatorConfig config = [] {
+    AccumulatorConfig c;
+    c.enabled = env_long("HCHAM_ACC_DISABLE", 0) == 0;
+    c.max_rank = std::max<index_t>(0, env_long("HCHAM_ACC_MAX_RANK", 0));
+    return c;
+  }();
+  return config;
+}
+
+/// Pending-rank budget for an m x n target truncated with `params`: the
+/// env/config override if set, else 4x the truncation rank cap, else half
+/// the maximal useful rank. Always within [1, min(m, n)]: pending factors
+/// are exact, so rank up to the full dimension is representable, but past
+/// it concatenation only adds linearly dependent columns and the flush QR
+/// grows quadratically for nothing.
+inline index_t acc_rank_budget(const TruncationParams& params, index_t m,
+                               index_t n) {
+  index_t cap = std::max<index_t>(1, std::min(m, n));
+  index_t budget;
+  if (acc_config().max_rank > 0) {
+    budget = acc_config().max_rank;
+  } else if (params.max_rank > 0) {
+    budget = 4 * params.max_rank;
+  } else {
+    budget = std::max<index_t>(16, cap / 2);
+  }
+  return std::clamp<index_t>(budget, 1, cap);
+}
+
+/// Truncate `c` if (and only if) it carries pending accumulated updates.
+/// The "only if" keeps flush-on-read free on blocks nobody updated.
+template <typename T>
+void flush_pending(RkMatrix<T>& c, const TruncationParams& params) {
+  if (!c.has_pending()) return;
+  arith_counters().bump(arith_counters().acc_flushes);
+  truncate(c, params);
+}
+
+/// Accumulation handle for one target Rk block. State lives in the target
+/// itself (appended factor columns + its compressed_rank watermark), so the
+/// handle is cheap and need not outlive the updates; flush() (or a later
+/// flush_pending on the target) finishes the job.
+template <typename T>
+class Accumulator {
+ public:
+  Accumulator(RkMatrix<T>& target, const TruncationParams& params,
+              index_t budget_override = 0)
+      : target_(target), params_(params),
+        budget_(budget_override > 0
+                    ? budget_override
+                    : acc_rank_budget(params, target.rows(), target.cols())) {}
+
+  /// target += alpha * a (deferred; eager rounded add when disabled).
+  void add(T alpha, const RkMatrix<T>& a) {
+    if (a.is_zero() || alpha == T{}) return;
+    add_factors(alpha, a.u().cview(), a.v().cview());
+  }
+
+  /// target += alpha * a, consuming a: when the target is empty the scaled
+  /// factors are moved into place instead of copied.
+  void add(T alpha, RkMatrix<T>&& a) {
+    if (a.is_zero() || alpha == T{}) return;
+    if (!acc_config().enabled) {
+      rounded_add(target_, alpha, std::move(a), params_);
+      return;
+    }
+    if (target_.rank() == 0) {
+      // Scaling does not change compressibility, so a source that was
+      // already truncated (e.g. a product_rk result) moves in compressed
+      // and a later flush of an otherwise-untouched target is free.
+      const bool pending = a.has_pending();
+      la::scal(alpha, a.u().view());
+      target_.set_factors(std::move(a.u()), std::move(a.v()));
+      if (pending) target_.mark_all_pending();
+      arith_counters().bump(arith_counters().acc_updates);
+      maybe_spill();
+      return;
+    }
+    add_factors(alpha, a.u().cview(), a.v().cview());
+  }
+
+  /// target += alpha * u * v^H (deferred; eager when disabled).
+  void add_factors(T alpha, la::ConstMatrixView<T> u,
+                   la::ConstMatrixView<T> v) {
+    if (u.cols() == 0 || alpha == T{}) return;
+    if (!acc_config().enabled) {
+      rounded_add_factors(target_, alpha, u, v, params_);
+      return;
+    }
+    target_.append_factors(alpha, u, v);
+    arith_counters().bump(arith_counters().acc_updates);
+    maybe_spill();
+  }
+
+  /// Force any pending updates through truncation now.
+  void flush() { flush_pending(target_, params_); }
+
+ private:
+  void maybe_spill() {
+    if (target_.rank() <= budget_) return;
+    // First try compacting only the pending tail: O(pending_rank^2) and
+    // the compressed head stays put, so a long update stream costs a chain
+    // of small compressions instead of repeated full re-truncations.
+    if (target_.compressed_rank() > 0) {
+      arith_counters().bump(arith_counters().acc_compactions);
+      compact_tail(target_, target_.compressed_rank(), params_);
+      if (target_.rank() <= budget_) return;
+    }
+    // Head + tail together still exceed the budget: pay the full flush.
+    arith_counters().bump(arith_counters().acc_budget_flushes);
+    arith_counters().bump(arith_counters().acc_flushes);
+    truncate(target_, params_);
+  }
+
+  RkMatrix<T>& target_;
+  const TruncationParams& params_;
+  index_t budget_;
+};
+
+/// One-shot deferred additions (the common call shape in the H-kernels).
+/// Because accumulation state lives in the target, constructing a transient
+/// Accumulator per call loses nothing.
+template <typename T>
+void accumulate(RkMatrix<T>& c, T alpha, const RkMatrix<T>& a,
+                const TruncationParams& params) {
+  Accumulator<T>(c, params).add(alpha, a);
+}
+
+template <typename T>
+void accumulate(RkMatrix<T>& c, T alpha, RkMatrix<T>&& a,
+                const TruncationParams& params) {
+  Accumulator<T>(c, params).add(alpha, std::move(a));
+}
+
+template <typename T>
+void accumulate_factors(RkMatrix<T>& c, T alpha, la::ConstMatrixView<T> u,
+                        la::ConstMatrixView<T> v,
+                        const TruncationParams& params) {
+  Accumulator<T>(c, params).add_factors(alpha, u, v);
+}
+
+}  // namespace hcham::rk

@@ -5,6 +5,7 @@
 // H-kernels (H-GEMM, H-TRSM, H-LU) manipulate the factors directly.
 #pragma once
 
+#include <algorithm>
 #include <utility>
 #include <vector>
 
@@ -23,7 +24,8 @@ class RkMatrix {
 
   /// Adopt factors: A = u * v^H. u is rows x k, v is cols x k.
   RkMatrix(la::Matrix<T> u, la::Matrix<T> v)
-      : rows_(u.rows()), cols_(v.rows()), u_(std::move(u)), v_(std::move(v)) {
+      : rows_(u.rows()), cols_(v.rows()), u_(std::move(u)), v_(std::move(v)),
+        compressed_rank_(u_.cols()) {
     HCHAM_CHECK(u_.cols() == v_.cols());
   }
 
@@ -31,6 +33,54 @@ class RkMatrix {
   index_t cols() const { return cols_; }
   index_t rank() const { return u_.cols(); }
   bool is_zero() const { return rank() == 0; }
+
+  /// Rank up to which the factors went through the last truncation. Columns
+  /// beyond it are pending lazy updates appended by append_factors(); the
+  /// represented value U V^H is exact either way — pending-ness only tracks
+  /// whether a flush (truncate) would do useful work.
+  index_t compressed_rank() const { return compressed_rank_; }
+  bool has_pending() const { return rank() > compressed_rank_; }
+  void mark_compressed() { compressed_rank_ = rank(); }
+  void mark_all_pending() { compressed_rank_ = 0; }
+
+  /// Append alpha * u * v^H as extra factor columns, without truncating:
+  /// the lazy-accumulation primitive. u is rows x j, v is cols x j.
+  void append_factors(T alpha, la::ConstMatrixView<T> u,
+                      la::ConstMatrixView<T> v) {
+    HCHAM_CHECK(u.rows() == rows_ && v.rows() == cols_ &&
+                u.cols() == v.cols());
+    const index_t j = u.cols();
+    if (j == 0) return;
+    // A default-constructed rank-0 state keeps u_ as 0 x 0; give the factors
+    // their proper row counts before growing columns.
+    if (u_.rows() != rows_) u_.reset(rows_, 0);
+    if (v_.rows() != cols_) v_.reset(cols_, 0);
+    const index_t k = u_.cols();
+    u_.append_cols(j);
+    v_.append_cols(j);
+    la::copy(u, u_.block(0, k, rows_, j));
+    la::scal(alpha, u_.block(0, k, rows_, j));
+    la::copy(v, v_.block(0, k, cols_, j));
+  }
+
+  /// Replace the factor columns [from, rank) with the (narrower) pair
+  /// nu * nv^H, keeping the leading `from` columns in place. Bookkeeping
+  /// for pending-tail compaction: the watermark never rises, so the block
+  /// stays pending until a real flush jointly recompresses head and tail.
+  void replace_tail(index_t from, la::ConstMatrixView<T> nu,
+                    la::ConstMatrixView<T> nv) {
+    HCHAM_CHECK(from >= 0 && from <= rank());
+    HCHAM_CHECK(nu.rows() == rows_ && nv.rows() == cols_ &&
+                nu.cols() == nv.cols());
+    const index_t j = nu.cols();
+    u_.shrink_cols(from);
+    v_.shrink_cols(from);
+    u_.append_cols(j);
+    v_.append_cols(j);
+    la::copy(nu, u_.block(0, from, rows_, j));
+    la::copy(nv, v_.block(0, from, cols_, j));
+    compressed_rank_ = std::min(compressed_rank_, from);
+  }
 
   la::Matrix<T>& u() { return u_; }
   la::Matrix<T>& v() { return v_; }
@@ -46,11 +96,13 @@ class RkMatrix {
                 u.cols() == v.cols());
     u_ = std::move(u);
     v_ = std::move(v);
+    compressed_rank_ = u_.cols();
   }
 
   void set_zero() {
     u_.reset(rows_, 0);
     v_.reset(cols_, 0);
+    compressed_rank_ = 0;
   }
 
   /// Densify: returns U * V^H.
@@ -103,6 +155,7 @@ class RkMatrix {
   index_t cols_ = 0;
   la::Matrix<T> u_;  // rows_ x k
   la::Matrix<T> v_;  // cols_ x k
+  index_t compressed_rank_ = 0;  // columns <= this passed the last truncate
 };
 
 }  // namespace hcham::rk

@@ -4,13 +4,21 @@
 // The standard QR+SVD scheme is used: factor U = Qu Ru and V = Qv Rv, take
 // the SVD of the small core Ru Rv^H, and keep the singular triplets above
 // the relative tolerance (and below the rank cap). Rounded addition
-// concatenates factors and truncates.
+// concatenates factors and truncates; the concatenation is exact, so the
+// lazy accumulator (accumulator.hpp) can defer the truncate across many
+// additions without losing accuracy. All intermediate factors here come
+// from the thread's workspace arena (workspace.hpp), so steady-state
+// truncations allocate only for the final factors.
 #pragma once
 
 #include <algorithm>
+#include <limits>
+#include <vector>
 
+#include "common/counters.hpp"
 #include "la/qr.hpp"
 #include "la/svd.hpp"
+#include "la/workspace.hpp"
 #include "rk/rk_matrix.hpp"
 
 namespace hcham::rk {
@@ -31,25 +39,37 @@ struct TruncationParams {
 /// Truncate `a` in place to the requested accuracy. Returns the new rank.
 template <typename T>
 index_t truncate(RkMatrix<T>& a, const TruncationParams& params) {
+  using R = real_t<T>;
   const index_t k = a.rank();
-  if (k == 0) return 0;
-  // A rank never exceeds min(m, n); also fast-path exact zero factors.
+  if (k == 0) {
+    a.mark_compressed();
+    return 0;
+  }
+  arith_counters().bump(arith_counters().truncations);
   const index_t m = a.rows();
   const index_t n = a.cols();
+  const index_t ku = std::min(m, k);
+  const index_t kv = std::min(n, k);
 
-  la::Matrix<T> qu, ru, qv, rv;
-  la::qr_thin<T>(a.u().cview(), qu, ru);
-  la::qr_thin<T>(a.v().cview(), qv, rv);
-  const index_t ku = ru.rows();  // min(m, k)
-  const index_t kv = rv.rows();  // min(n, k)
+  la::WorkspaceScope ws;
+  la::MatrixView<T> qu = ws.matrix<T>(m, ku);
+  la::MatrixView<T> ru = ws.matrix<T>(ku, k);
+  la::MatrixView<T> qv = ws.matrix<T>(n, kv);
+  la::MatrixView<T> rv = ws.matrix<T>(kv, k);
+  la::qr_thin_ws<T>(a.u().cview(), qu, ru);
+  la::qr_thin_ws<T>(a.v().cview(), qv, rv);
 
-  // Core = Ru * Rv^H (ku x kv).
-  la::Matrix<T> core(ku, kv);
-  la::gemm(la::Op::NoTrans, la::Op::ConjTrans, T{1}, ru.cview(), rv.cview(),
-           T{}, core.view());
-  auto s = la::svd<T>(core.cview());
+  // Core = Ru * Rv^H (ku x kv), then its SVD.
+  la::MatrixView<T> core = ws.matrix<T>(ku, kv);
+  la::gemm(la::Op::NoTrans, la::Op::ConjTrans, T{1}, la::ConstMatrixView<T>(ru),
+           la::ConstMatrixView<T>(rv), T{}, core);
+  const index_t kk = std::min(ku, kv);
+  la::MatrixView<T> su = ws.matrix<T>(ku, kk);
+  la::MatrixView<T> sv = ws.matrix<T>(kv, kk);
+  R* sigma_r = ws.alloc<R>(kk);
+  la::svd_into<T>(la::ConstMatrixView<T>(core), su, sigma_r, sv);
 
-  std::vector<double> sigma(s.sigma.begin(), s.sigma.end());
+  std::vector<double> sigma(sigma_r, sigma_r + kk);
   const index_t r = params.select_rank(sigma);
   if (r == 0) {
     a.set_zero();
@@ -57,17 +77,106 @@ index_t truncate(RkMatrix<T>& a, const TruncationParams& params) {
   }
 
   // New U = Qu * (Uhat_r * Sigma_r), new V = Qv * Vhat_r.
-  la::Matrix<T> us(ku, r);
+  la::MatrixView<T> us = ws.matrix<T>(ku, r);
   for (index_t j = 0; j < r; ++j)
     for (index_t i = 0; i < ku; ++i)
-      us(i, j) = s.u(i, j) * T(s.sigma[static_cast<std::size_t>(j)]);
+      us(i, j) = su(i, j) * T(sigma_r[j]);
   la::Matrix<T> nu(m, r), nv(n, r);
-  la::gemm(la::Op::NoTrans, la::Op::NoTrans, T{1}, qu.cview(), us.cview(),
-           T{}, nu.view());
-  la::gemm(la::Op::NoTrans, la::Op::NoTrans, T{1}, qv.cview(),
-           s.v.block(0, 0, kv, r), T{}, nv.view());
+  la::gemm(la::Op::NoTrans, la::Op::NoTrans, T{1}, la::ConstMatrixView<T>(qu),
+           la::ConstMatrixView<T>(us), T{}, nu.view());
+  la::gemm(la::Op::NoTrans, la::Op::NoTrans, T{1}, la::ConstMatrixView<T>(qv),
+           la::ConstMatrixView<T>(sv).block(0, 0, kv, r), T{}, nv.view());
   a.set_factors(std::move(nu), std::move(nv));
   return r;
+}
+
+/// Compress only the factor columns [from, rank) of `c` in place -- the
+/// pending tail of an accumulator target -- leaving the leading columns
+/// untouched. Rank revelation on the small core uses the greedy pivoted QR
+/// (O(kp^2 r)) rather than the Jacobi SVD (O(kp^3 sweeps)): a compaction
+/// only needs rank CONTROL, and the eventual flush still runs the real
+/// SVD truncation for the accuracy contract. The dropped mass is below
+/// ~eps * sigma_max(tail), so a compaction is no less accurate than the
+/// rounded addition of the same contributions would have been. The block
+/// stays pending (the watermark does not rise): head and tail are jointly
+/// recompressed by the eventual flush.
+template <typename T>
+index_t compact_tail(RkMatrix<T>& c, index_t from,
+                     const TruncationParams& params) {
+  const index_t m = c.rows();
+  const index_t n = c.cols();
+  const index_t kp = c.rank() - from;
+  if (kp <= 0) return c.rank();
+  const index_t ku = std::min(m, kp);
+  const index_t kv = std::min(n, kp);
+
+  la::WorkspaceScope ws;
+  la::MatrixView<T> qu = ws.matrix<T>(m, ku);
+  la::MatrixView<T> ru = ws.matrix<T>(ku, kp);
+  la::MatrixView<T> qv = ws.matrix<T>(n, kv);
+  la::MatrixView<T> rv = ws.matrix<T>(kv, kp);
+  la::qr_thin_ws<T>(c.u().cview().block(0, from, m, kp), qu, ru);
+  la::qr_thin_ws<T>(c.v().cview().block(0, from, n, kp), qv, rv);
+
+  la::MatrixView<T> core = ws.matrix<T>(ku, kv);
+  la::gemm(la::Op::NoTrans, la::Op::ConjTrans, T{1}, la::ConstMatrixView<T>(ru),
+           la::ConstMatrixView<T>(rv), T{}, core);
+  const index_t kk = std::min(ku, kv);
+  la::MatrixView<T> qc = ws.matrix<T>(ku, kk);
+  la::MatrixView<T> rc = ws.matrix<T>(kk, kv);
+  const index_t r = la::qr_pivoted_rank<T>(la::ConstMatrixView<T>(core), qc,
+                                           rc, params.eps, params.max_rank);
+  la::MatrixView<T> nu = ws.matrix<T>(m, r);
+  la::MatrixView<T> nv = ws.matrix<T>(n, r);
+  la::gemm(la::Op::NoTrans, la::Op::NoTrans, T{1}, la::ConstMatrixView<T>(qu),
+           la::ConstMatrixView<T>(qc).block(0, 0, ku, r), T{}, nu);
+  la::gemm(la::Op::NoTrans, la::Op::ConjTrans, T{1}, la::ConstMatrixView<T>(qv),
+           la::ConstMatrixView<T>(rc).block(0, 0, r, kv), T{}, nv);
+  c.replace_tail(from, la::ConstMatrixView<T>(nu), la::ConstMatrixView<T>(nv));
+  return c.rank();
+}
+
+namespace detail {
+
+/// Truncate after a rounded addition unless a cheap bound shows it cannot
+/// reduce the rank: when the combined rank already fits under the cap and
+/// every triplet's Frobenius weight s_i = |u_i| |v_i| stays above the
+/// relative tolerance, dropping any triplet would violate the requested
+/// accuracy, so keeping all of them (which is exact) is the right answer.
+template <typename T>
+void truncate_unless_tight(RkMatrix<T>& c, const TruncationParams& params) {
+  using R = real_t<T>;
+  const index_t k = c.rank();
+  if (params.max_rank >= 0 && k <= params.max_rank && k > 0) {
+    R smin = std::numeric_limits<R>::max();
+    R ssum{};
+    for (index_t j = 0; j < k; ++j) {
+      const R s = la::nrm2(c.rows(), c.u().cview().col(j)) *
+                  la::nrm2(c.cols(), c.v().cview().col(j));
+      smin = std::min(smin, s);
+      ssum += s;
+    }
+    if (smin > R(params.eps) * ssum) {
+      c.mark_compressed();
+      arith_counters().bump(arith_counters().rounded_add_fastpaths);
+      return;
+    }
+  }
+  truncate(c, params);
+}
+
+}  // namespace detail
+
+/// c += alpha * u * v^H, followed by truncation (unless provably tight).
+template <typename T>
+void rounded_add_factors(RkMatrix<T>& c, T alpha, la::ConstMatrixView<T> u,
+                         la::ConstMatrixView<T> v,
+                         const TruncationParams& params) {
+  HCHAM_CHECK(c.rows() == u.rows() && c.cols() == v.rows());
+  if (u.cols() == 0 || alpha == T{}) return;
+  arith_counters().bump(arith_counters().rounded_adds);
+  c.append_factors(alpha, u, v);
+  detail::truncate_unless_tight(c, params);
 }
 
 /// c += alpha * a, followed by truncation ("rounded addition").
@@ -76,35 +185,52 @@ void rounded_add(RkMatrix<T>& c, T alpha, const RkMatrix<T>& a,
                  const TruncationParams& params) {
   HCHAM_CHECK(c.rows() == a.rows() && c.cols() == a.cols());
   if (a.is_zero() || alpha == T{}) return;
-  const index_t kc = c.rank();
-  const index_t ka = a.rank();
-  la::Matrix<T> u(c.rows(), kc + ka), v(c.cols(), kc + ka);
-  if (kc > 0) {
-    la::copy<T>(c.u().cview(), u.block(0, 0, c.rows(), kc));
-    la::copy<T>(c.v().cview(), v.block(0, 0, c.cols(), kc));
+  rounded_add_factors(c, alpha, a.u().cview(), a.v().cview(), params);
+}
+
+/// Rounded addition consuming `a`: when c is zero the scaled factors are
+/// moved into place instead of copied, and truncation is skipped when
+/// provably tight.
+template <typename T>
+void rounded_add(RkMatrix<T>& c, T alpha, RkMatrix<T>&& a,
+                 const TruncationParams& params) {
+  HCHAM_CHECK(c.rows() == a.rows() && c.cols() == a.cols());
+  if (a.is_zero() || alpha == T{}) return;
+  arith_counters().bump(arith_counters().rounded_adds);
+  if (c.rank() == 0) {
+    arith_counters().bump(arith_counters().rounded_add_fastpaths);
+    la::scal(alpha, a.u().view());
+    c.set_factors(std::move(a.u()), std::move(a.v()));
+    detail::truncate_unless_tight(c, params);
+    return;
   }
-  // alpha * Ua Va^H: fold alpha into the U factor.
-  la::copy<T>(a.u().cview(), u.block(0, kc, a.rows(), ka));
-  la::scal(alpha, u.block(0, kc, a.rows(), ka));
-  la::copy<T>(a.v().cview(), v.block(0, kc, a.cols(), ka));
-  c.set_factors(std::move(u), std::move(v));
-  truncate(c, params);
+  c.append_factors(alpha, a.u().cview(), a.v().cview());
+  detail::truncate_unless_tight(c, params);
 }
 
 /// Compress a dense block into an RkMatrix by truncated SVD.
 template <typename T>
 RkMatrix<T> compress_svd(la::ConstMatrixView<T> a,
                          const TruncationParams& params) {
-  auto s = la::svd<T>(a);
-  std::vector<double> sigma(s.sigma.begin(), s.sigma.end());
+  using R = real_t<T>;
+  const index_t m = a.rows();
+  const index_t n = a.cols();
+  const index_t k = std::min(m, n);
+  RkMatrix<T> result(m, n);
+  if (k == 0) return result;
+  la::WorkspaceScope ws;
+  la::MatrixView<T> su = ws.matrix<T>(m, k);
+  la::MatrixView<T> sv = ws.matrix<T>(n, k);
+  R* sigma_r = ws.alloc<R>(k);
+  la::svd_into<T>(a, su, sigma_r, sv);
+  std::vector<double> sigma(sigma_r, sigma_r + k);
   const index_t r = params.select_rank(sigma);
-  RkMatrix<T> result(a.rows(), a.cols());
   if (r == 0) return result;
-  la::Matrix<T> u(a.rows(), r), v(a.cols(), r);
+  la::Matrix<T> u(m, r), v(n, r);
   for (index_t j = 0; j < r; ++j) {
-    const T s_j = T(s.sigma[static_cast<std::size_t>(j)]);
-    for (index_t i = 0; i < a.rows(); ++i) u(i, j) = s.u(i, j) * s_j;
-    for (index_t i = 0; i < a.cols(); ++i) v(i, j) = s.v(i, j);
+    const T s_j = T(sigma_r[j]);
+    for (index_t i = 0; i < m; ++i) u(i, j) = su(i, j) * s_j;
+    for (index_t i = 0; i < n; ++i) v(i, j) = sv(i, j);
   }
   result.set_factors(std::move(u), std::move(v));
   return result;

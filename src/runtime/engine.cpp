@@ -13,6 +13,7 @@
 
 #include "common/rng.hpp"
 #include "common/timer.hpp"
+#include "la/workspace.hpp"
 
 namespace hcham::rt {
 
@@ -314,6 +315,7 @@ struct Engine::Impl {
   void run_sequential() {
     // STF guarantees dependencies point backwards, so submission order is a
     // valid topological order.
+    la::WorkspaceLease workspace_lease;
     const auto t0 = std::chrono::steady_clock::now();
     for (std::size_t i = static_cast<std::size_t>(retired); i < tasks.size();
          ++i) {
@@ -342,6 +344,7 @@ struct Engine::Impl {
   /// deterministically per seed.
   void run_fuzzed() {
     Rng rng(opts.fuzz_seed);
+    la::WorkspaceLease workspace_lease;
     const auto t0 = std::chrono::steady_clock::now();
     std::vector<TaskId> ready;
     index_t left = 0;
@@ -457,7 +460,10 @@ struct Engine::Impl {
     std::vector<std::thread> pool;
     pool.reserve(static_cast<std::size_t>(opts.num_workers));
     for (int w = 0; w < opts.num_workers; ++w)
-      pool.emplace_back([this, w, t0] { worker_loop_locked(w, t0); });
+      pool.emplace_back([this, w, t0] {
+        la::WorkspaceLease workspace_lease;
+        worker_loop_locked(w, t0);
+      });
     for (auto& th : pool) th.join();
   }
 
@@ -745,7 +751,10 @@ struct Engine::Impl {
     std::vector<std::thread> pool;
     pool.reserve(static_cast<std::size_t>(P));
     for (int w = 0; w < P; ++w)
-      pool.emplace_back([this, w, t0] { ll_worker_loop(w, t0); });
+      pool.emplace_back([this, w, t0] {
+        la::WorkspaceLease workspace_lease;
+        ll_worker_loop(w, t0);
+      });
     for (auto& th : pool) th.join();
     if (opts.record_trace) {
       // Merge the per-worker buffers in start order; only this epoch's

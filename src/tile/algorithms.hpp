@@ -89,6 +89,10 @@ void tiled_gemm(rt::Engine& engine, T alpha, const TileDesc<T>& a,
              rt::readwrite(c.handle(i, j))},
             0, "gemm");
       }
+      // Unlike the factorizations, no later kernel reads these C tiles:
+      // publish them fully truncated.
+      engine.submit([&c, i, j, tp] { kernel_flush(c.tile(i, j), tp); },
+                    {rt::readwrite(c.handle(i, j))}, 0, "flush");
     }
   }
 }

@@ -51,7 +51,10 @@ void kernel_trsm_upper(const Tile<T>& akk, Tile<T>& aik,
   }
 }
 
-/// C <- C + alpha * A * B (the trailing update uses alpha = -1).
+/// C <- C + alpha * A * B (the trailing update uses alpha = -1). H-tiles
+/// accumulate lazily: Rk leaves of C may hold pending updates afterwards,
+/// flushed by the tile's next panel/diagonal kernel (which reads it) or by
+/// kernel_flush.
 template <typename T>
 void kernel_gemm(T alpha, const Tile<T>& a, const Tile<T>& b, Tile<T>& c,
                  const rk::TruncationParams& tp) {
@@ -60,8 +63,17 @@ void kernel_gemm(T alpha, const Tile<T>& a, const Tile<T>& b, Tile<T>& c,
     la::gemm(la::Op::NoTrans, la::Op::NoTrans, alpha, a.full.cview(),
              b.full.cview(), T{1}, c.full.view());
   } else {
-    hmat::hgemm(alpha, *a.h, *b.h, *c.h, tp);
+    hmat::hgemm_deferred(alpha, *a.h, *b.h, *c.h, tp);
   }
+}
+
+/// Force a tile's pending accumulated updates through truncation. No-op on
+/// dense tiles and on H-tiles nothing updated lazily.
+template <typename T>
+void kernel_flush(Tile<T>& c, const rk::TruncationParams& tp) {
+  if (c.format == TileFormat::Full) return;
+  HCHAM_CHECK(c.h != nullptr);
+  hmat::flush_pending(*c.h, tp);
 }
 
 /// y_seg <- y_seg + alpha * op(tile) * x_seg.
@@ -131,7 +143,7 @@ void kernel_gemm_adjoint_b(T alpha, const Tile<T>& a, const Tile<T>& b,
              b.full.cview(), T{1}, c.full.view());
   } else {
     hmat::HMatrix<T> bh = hmat::adjoint_of(*b.h);
-    hmat::hgemm(alpha, *a.h, bh, *c.h, tp);
+    hmat::hgemm_deferred(alpha, *a.h, bh, *c.h, tp);
   }
 }
 

@@ -1,0 +1,226 @@
+// Properties of the lazy low-rank update accumulator (rk/accumulator.hpp):
+//
+//   1. Exactness before flush: concatenated pending factors represent the
+//      sum of the contributions up to floating-point roundoff, for every
+//      scalar type. This is the invariant that makes deferred truncation
+//      safe for readers of pending tiles.
+//   2. Accuracy after flush: the accumulated-then-flushed target matches
+//      the exact sum within 10 * eps * ||C||_F for every flush budget --
+//      including budget 1, which forces a spill (compaction or full
+//      truncation) on every single addition -- and stays within the same
+//      distance of the eager rounded-add result.
+//   3. Determinism: the Tile-H LU with accumulation enabled is
+//      bit-identical to the 1-worker sequential referee across scheduler
+//      policies and worker counts, and performs the identical number of
+//      truncations/flushes/compactions. STF fixes each tile's kernel order
+//      at submission time, so flush points cannot move with the schedule.
+//
+// Runs under the `property` label (and therefore under TSan in CI).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <limits>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "bem/testcase.hpp"
+#include "core/metrics.hpp"
+#include "core/tile_h.hpp"
+#include "la/norms.hpp"
+#include "prop_utils.hpp"
+#include "rk/accumulator.hpp"
+#include "runtime/engine.hpp"
+
+namespace hcham {
+namespace {
+
+using bem::FemBemProblem;
+using core::TileHMatrix;
+using core::TileHOptions;
+using rt::Engine;
+using hcham::testing::prop::check_with_shrink;
+using hcham::testing::prop::full_sweep;
+using hcham::testing::prop::ProblemConfig;
+using hcham::testing::prop::Sweep;
+using hcham::testing::prop::sweep_name;
+
+template <typename T>
+la::Matrix<T> random_matrix(Rng& rng, index_t m, index_t n) {
+  la::Matrix<T> a(m, n);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < m; ++i) a(i, j) = rng.scalar<T>();
+  return a;
+}
+
+template <typename T>
+rk::RkMatrix<T> random_rk(Rng& rng, index_t m, index_t n, index_t r) {
+  rk::RkMatrix<T> a(m, n);
+  a.set_factors(random_matrix<T>(rng, m, r), random_matrix<T>(rng, n, r));
+  return a;
+}
+
+template <typename T>
+double diff_fro(const la::Matrix<T>& a, const la::Matrix<T>& b) {
+  double s = 0;
+  for (index_t j = 0; j < a.cols(); ++j)
+    for (index_t i = 0; i < a.rows(); ++i) s += abs_sq(a(i, j) - b(i, j));
+  return std::sqrt(s);
+}
+
+/// One randomized update stream: a rank-3 target plus 5 low-rank
+/// contributions, applied (a) exactly in dense arithmetic, (b) eagerly via
+/// rounded_add, and (c) through an Accumulator at the given budget.
+template <typename T>
+void check_accumulate_vs_eager(std::uint64_t seed, double eps) {
+  rk::acc_config().enabled = true;
+  const index_t m = 48, n = 40;
+  Rng rng(seed);
+  const rk::RkMatrix<T> c0 = random_rk<T>(rng, m, n, 3);
+
+  std::vector<T> alphas;
+  std::vector<rk::RkMatrix<T>> updates;
+  for (int s = 0; s < 5; ++s) {
+    T alpha = rng.scalar<T>();
+    if (std::abs(alpha) < 0.1) alpha += T(1);
+    alphas.push_back(alpha);
+    updates.push_back(
+        random_rk<T>(rng, m, n, 1 + static_cast<index_t>(rng.uniform_index(4))));
+  }
+
+  // Exact dense reference and its mass (for the roundoff-level bound).
+  la::Matrix<T> exact = c0.dense();
+  double mass = la::norm_fro(exact.cview());
+  for (std::size_t s = 0; s < updates.size(); ++s) {
+    updates[s].add_to(alphas[s], exact.view());
+    mass += std::abs(alphas[s]) * la::norm_fro(updates[s].dense().cview());
+  }
+  const double exact_norm = la::norm_fro(exact.cview());
+
+  rk::TruncationParams params;
+  params.eps = eps;
+
+  rk::RkMatrix<T> eager = c0;
+  for (std::size_t s = 0; s < updates.size(); ++s)
+    rk::rounded_add(eager, alphas[s], updates[s], params);
+  const la::Matrix<T> eager_dense = eager.dense();
+  ASSERT_LE(diff_fro(eager_dense, exact), 10.0 * eps * exact_norm)
+      << "eager baseline drifted from the exact sum (seed " << seed << ")";
+
+  for (const index_t budget : {index_t{1}, index_t{2}, index_t{4},
+                               index_t{32}}) {
+    rk::RkMatrix<T> c = c0;
+    rk::Accumulator<T> acc(c, params, budget);
+    for (std::size_t s = 0; s < updates.size(); ++s)
+      acc.add(alphas[s], updates[s]);
+
+    if (budget >= 32) {
+      // Nothing spilled: the pending state must be exact to roundoff.
+      ASSERT_TRUE(c.has_pending());
+      const double machine =
+          static_cast<double>(std::numeric_limits<real_t<T>>::epsilon());
+      ASSERT_LE(diff_fro(c.dense(), exact), 100.0 * machine * mass)
+          << "pending (un-flushed) state is not exact (seed " << seed << ")";
+    }
+
+    acc.flush();
+    ASSERT_FALSE(c.has_pending());
+    const la::Matrix<T> got = c.dense();
+    ASSERT_LE(diff_fro(got, exact), 10.0 * eps * exact_norm)
+        << "flushed accumulator drifted from the exact sum (seed " << seed
+        << ", budget " << budget << ")";
+    ASSERT_LE(diff_fro(got, eager_dense), 10.0 * eps * exact_norm)
+        << "accumulated result drifted from the eager result (seed " << seed
+        << ", budget " << budget << ")";
+  }
+}
+
+TEST(Accumulator, MatchesEagerWithinToleranceDouble) {
+  for (const std::uint64_t seed : {11u, 23u, 37u})
+    check_accumulate_vs_eager<double>(seed, 1e-6);
+}
+
+TEST(Accumulator, MatchesEagerWithinToleranceFloat) {
+  for (const std::uint64_t seed : {11u, 23u, 37u})
+    check_accumulate_vs_eager<float>(seed, 1e-3);
+}
+
+TEST(Accumulator, MatchesEagerWithinToleranceComplex) {
+  for (const std::uint64_t seed : {11u, 23u, 37u})
+    check_accumulate_vs_eager<std::complex<double>>(seed, 1e-6);
+}
+
+class AccumulatorLu : public ::testing::TestWithParam<Sweep> {};
+
+/// Tile-H LU with the accumulator on (the default) must stay bit-identical
+/// to the sequential referee, and spend the identical number of
+/// truncations, flushes, and compactions: the counters the accumulator
+/// benchmark gates on are schedule-independent by construction.
+TEST_P(AccumulatorLu, BitDeterministicAcrossSchedules) {
+  rk::acc_config().enabled = true;
+  const Sweep sw = GetParam();
+  Rng rng(sw.seed);
+  check_with_shrink(
+      sw, ProblemConfig::draw(rng),
+      [&sw](const ProblemConfig& c) -> std::optional<std::string> {
+        try {
+          FemBemProblem<double> problem(c.n, 1.0, c.height);
+          auto gen = [&problem](index_t i, index_t j) {
+            return problem.entry(i, j);
+          };
+          TileHOptions opts;
+          opts.tile_size = c.tile_size;
+          opts.clustering.leaf_size = c.leaf_size;
+          opts.hmatrix.compression.eps = c.eps;
+
+          Engine ref_eng({.num_workers = 1});
+          auto ref =
+              TileHMatrix<double>::build(ref_eng, problem.points(), gen, opts);
+          core::reset_arith_profile();
+          ref.factorize(ref_eng);
+          const core::ArithProfile ref_prof = core::arith_profile();
+          const la::Matrix<double> ref_dense = ref.to_dense_original();
+          if (ref_prof.acc_updates == 0)
+            return "accumulator never engaged: the property is vacuous";
+
+          Engine eng({.num_workers = sw.workers, .policy = sw.policy});
+          auto a =
+              TileHMatrix<double>::build(eng, problem.points(), gen, opts);
+          core::reset_arith_profile();
+          a.factorize(eng);
+          const core::ArithProfile prof = core::arith_profile();
+          const la::Matrix<double> got = a.to_dense_original();
+
+          if (prof.truncations != ref_prof.truncations ||
+              prof.acc_flushes != ref_prof.acc_flushes ||
+              prof.acc_compactions != ref_prof.acc_compactions) {
+            std::ostringstream s;
+            s << "counter mismatch vs referee: truncations "
+              << prof.truncations << "/" << ref_prof.truncations
+              << ", flushes " << prof.acc_flushes << "/"
+              << ref_prof.acc_flushes << ", compactions "
+              << prof.acc_compactions << "/" << ref_prof.acc_compactions;
+            return s.str();
+          }
+          for (index_t j = 0; j < got.cols(); ++j)
+            for (index_t i = 0; i < got.rows(); ++i)
+              if (got(i, j) != ref_dense(i, j)) {
+                std::ostringstream s;
+                s << "factor entry (" << i << "," << j
+                  << ") diverged from the sequential referee: " << got(i, j)
+                  << " vs " << ref_dense(i, j);
+                return s.str();
+              }
+          return std::nullopt;
+        } catch (const std::exception& e) {
+          return std::string("exception: ") + e.what();
+        }
+      });
+}
+
+INSTANTIATE_TEST_SUITE_P(Prop, AccumulatorLu,
+                         ::testing::ValuesIn(full_sweep({7})), sweep_name);
+
+}  // namespace
+}  // namespace hcham
