@@ -166,6 +166,17 @@ inline rt::SimParams default_sim_params() {
   return p;
 }
 
+/// default_sim_params with the submission model switched to DAG replay
+/// (graph capture/replay, DESIGN.md section 10): a flat per-task rebind
+/// cost, no per-edge inference. Override with HCHAM_SIM_REPLAY_SUBMIT_COST
+/// (seconds). Execution-side overheads stay at their live values.
+inline rt::SimParams replay_sim_params() {
+  rt::SimParams p = default_sim_params();
+  p.replay_submission = true;
+  p.replay_submit_cost_s = env_double("HCHAM_SIM_REPLAY_SUBMIT_COST", 1.0e-7);
+  return p;
+}
+
 inline core::TileHOptions tileh_options(index_t nb, double eps) {
   core::TileHOptions opts;
   opts.tile_size = nb;

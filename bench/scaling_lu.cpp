@@ -115,9 +115,9 @@ Point run_hmat(index_t n, double eps, int workers, rt::SchedulerPolicy pol) {
   return p;
 }
 
-Point sim_point(const rt::TaskGraph& g, rt::SchedulerPolicy pol,
-                int workers) {
-  const auto r = rt::simulate(g, pol, workers, bench::default_sim_params());
+Point sim_point(const rt::TaskGraph& g, rt::SchedulerPolicy pol, int workers,
+                const rt::SimParams& params) {
+  const auto r = rt::simulate(g, pol, workers, params);
   Point p;
   p.time_s = r.makespan_s;
   p.tasks = g.num_tasks();
@@ -190,17 +190,30 @@ int main(int argc, char** argv) {
     auto h = bench::measure_hmat_lu<double>(n, eps);
     const std::vector<int> counts = {1, 2, 4, 9, 18, 36};
     for (const auto pol : bench::all_policies()) {
-      double tile_1w = 0.0, hmat_1w = 0.0;
+      double tile_1w = 0.0, hmat_1w = 0.0, tile_rp_1w = 0.0, hmat_rp_1w = 0.0;
       for (const int w : counts) {
-        const Point pt = sim_point(m.graph, pol, w);
+        const Point pt = sim_point(m.graph, pol, w,
+                                   bench::default_sim_params());
         if (w == 1) tile_1w = pt.time_s;
         report("tileh_lu_sim", pol, n, w, pt, tile_1w);
         if (w == 4 && pt.time_s > 0.0)
           gate_speedup_sim =
               std::max(gate_speedup_sim, tile_1w / pt.time_s);
-        const Point ph = sim_point(h.graph, pol, w);
+        const Point ph = sim_point(h.graph, pol, w,
+                                   bench::default_sim_params());
         if (w == 1) hmat_1w = ph.time_s;
         report("hmat_lu_sim", pol, n, w, ph, hmat_1w);
+        // Same graphs under the DAG-replay submission model: the flat
+        // rebind cost replaces per-edge inference, which matters most for
+        // the edge-dense fine-grain H-LU at high thread counts.
+        const Point pr = sim_point(m.graph, pol, w,
+                                   bench::replay_sim_params());
+        if (w == 1) tile_rp_1w = pr.time_s;
+        report("tileh_lu_sim_replay", pol, n, w, pr, tile_rp_1w);
+        const Point hr = sim_point(h.graph, pol, w,
+                                   bench::replay_sim_params());
+        if (w == 1) hmat_rp_1w = hr.time_s;
+        report("hmat_lu_sim_replay", pol, n, w, hr, hmat_rp_1w);
       }
     }
   }

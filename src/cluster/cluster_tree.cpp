@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "common/hash.hpp"
+
 namespace hcham::cluster {
 
 index_t ClusterTree::add_node(index_t offset, index_t size, index_t parent) {
@@ -118,6 +120,20 @@ std::vector<index_t> ClusterTree::leaves_under(index_t node_index) const {
     }
   }
   return result;
+}
+
+std::uint64_t ClusterTree::structure_signature() const {
+  std::uint64_t h = 0x636c757374657233ULL;  // "cluster3"
+  h = hash_mix(h, static_cast<std::uint64_t>(num_points()));
+  for (const Node& nd : nodes_) {
+    h = hash_mix(h, static_cast<std::uint64_t>(nd.offset));
+    h = hash_mix(h, static_cast<std::uint64_t>(nd.size));
+    // Children are node indices; hashing them pins the tree shape, not
+    // just the per-node ranges.
+    h = hash_mix(h, static_cast<std::uint64_t>(nd.child[0] + 1));
+    h = hash_mix(h, static_cast<std::uint64_t>(nd.child[1] + 1));
+  }
+  return h;
 }
 
 // --- NTilesRecursive (paper Algorithm 2) ---------------------------------

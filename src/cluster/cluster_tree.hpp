@@ -7,6 +7,7 @@
 // hmat-oss.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -71,6 +72,15 @@ class ClusterTree {
 
   /// Collect the descendant leaves of `node_index` (for structure dumps).
   std::vector<index_t> leaves_under(index_t node_index) const;
+
+  /// 64-bit hash of the tree topology: every node's (offset, size,
+  /// children), in node order. Two trees with equal signatures partition
+  /// the index set identically, so any task graph derived from the block
+  /// structure alone is interchangeable between them — the graph-cache key
+  /// contract (DESIGN.md section 10). Point coordinates and boxes are
+  /// deliberately excluded: they shape admissibility decisions only via
+  /// the resulting block structure, which the H-matrix level hashes itself.
+  std::uint64_t structure_signature() const;
 
  private:
   friend class TileClusteringBuilder;

@@ -77,4 +77,64 @@ inline void reset_arith_counters() {
   c.ws_misses.store(0, std::memory_order_relaxed);
 }
 
+/// Process-wide tallies for the task-graph capture/replay layer (DESIGN.md
+/// section 10): epochs captured into a CapturedGraph, epochs dispatched by
+/// replay, graph-cache traffic, offline-pass output, and the wall time of
+/// the submission phase split by mode so benches can report the
+/// live-inference vs replay-rebind overhead ratio.
+struct RuntimeCounters {
+  std::atomic<std::uint64_t> graph_captures{0};   ///< epochs recorded
+  std::atomic<std::uint64_t> graph_replays{0};    ///< epochs replayed
+  std::atomic<std::uint64_t> graph_cache_hits{0};
+  std::atomic<std::uint64_t> graph_cache_misses{0};
+  std::atomic<std::uint64_t> graph_cache_evictions{0};
+  std::atomic<std::uint64_t> graph_fused_pairs{0};  ///< chain-fusion output
+  std::atomic<std::uint64_t> submit_live_ns{0};    ///< STF inference phases
+  std::atomic<std::uint64_t> submit_replay_ns{0};  ///< closure re-bind phases
+};
+
+inline RuntimeCounters& runtime_counters() {
+  static RuntimeCounters counters;
+  return counters;
+}
+
+struct RuntimeCounterSnapshot {
+  std::uint64_t graph_captures = 0;
+  std::uint64_t graph_replays = 0;
+  std::uint64_t graph_cache_hits = 0;
+  std::uint64_t graph_cache_misses = 0;
+  std::uint64_t graph_cache_evictions = 0;
+  std::uint64_t graph_fused_pairs = 0;
+  std::uint64_t submit_live_ns = 0;
+  std::uint64_t submit_replay_ns = 0;
+};
+
+inline RuntimeCounterSnapshot snapshot_runtime_counters() {
+  const RuntimeCounters& c = runtime_counters();
+  RuntimeCounterSnapshot s;
+  s.graph_captures = c.graph_captures.load(std::memory_order_relaxed);
+  s.graph_replays = c.graph_replays.load(std::memory_order_relaxed);
+  s.graph_cache_hits = c.graph_cache_hits.load(std::memory_order_relaxed);
+  s.graph_cache_misses =
+      c.graph_cache_misses.load(std::memory_order_relaxed);
+  s.graph_cache_evictions =
+      c.graph_cache_evictions.load(std::memory_order_relaxed);
+  s.graph_fused_pairs = c.graph_fused_pairs.load(std::memory_order_relaxed);
+  s.submit_live_ns = c.submit_live_ns.load(std::memory_order_relaxed);
+  s.submit_replay_ns = c.submit_replay_ns.load(std::memory_order_relaxed);
+  return s;
+}
+
+inline void reset_runtime_counters() {
+  RuntimeCounters& c = runtime_counters();
+  c.graph_captures.store(0, std::memory_order_relaxed);
+  c.graph_replays.store(0, std::memory_order_relaxed);
+  c.graph_cache_hits.store(0, std::memory_order_relaxed);
+  c.graph_cache_misses.store(0, std::memory_order_relaxed);
+  c.graph_cache_evictions.store(0, std::memory_order_relaxed);
+  c.graph_fused_pairs.store(0, std::memory_order_relaxed);
+  c.submit_live_ns.store(0, std::memory_order_relaxed);
+  c.submit_replay_ns.store(0, std::memory_order_relaxed);
+}
+
 }  // namespace hcham

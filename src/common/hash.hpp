@@ -1,0 +1,25 @@
+// Order-dependent 64-bit structural hashing, used for the graph-cache
+// signatures (cluster-tree topology, tile structure, solver epoch tags).
+// Not cryptographic; the only requirement is that equal structures hash
+// equal across processes and unequal ones collide with hash quality good
+// enough for a small cache keyed on a handful of live structures.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+namespace hcham {
+
+/// Boost-style combiner with a splitmix constant.
+inline std::uint64_t hash_mix(std::uint64_t h, std::uint64_t v) {
+  return h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+}
+
+inline std::uint64_t hash_double(std::uint64_t h, double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof bits == sizeof v);
+  std::memcpy(&bits, &v, sizeof bits);
+  return hash_mix(h, bits);
+}
+
+}  // namespace hcham

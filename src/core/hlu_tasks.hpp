@@ -13,9 +13,11 @@
 // of execution.
 #pragma once
 
+#include <cstdint>
 #include <unordered_map>
 #include <vector>
 
+#include "common/hash.hpp"
 #include "hmatrix/hgemm.hpp"
 #include "hmatrix/hlu.hpp"
 #include "hmatrix/htrsm.hpp"
@@ -167,6 +169,38 @@ void task_hlu(rt::Engine& engine, hmat::HMatrix<T>& a,
   HluTaskGraph<T> graph(engine, a, tp);
   graph.submit();
   engine.wait_all();
+}
+
+/// 64-bit hash of the realized block structure: node kind and extent in
+/// recursion order. The fine-grain DAG is a pure function of this (the
+/// HluTaskGraph recursion branches on is_leaf() alone and the expansion
+/// order is deterministic), so equal signatures mean interchangeable
+/// captured graphs.
+template <typename T>
+std::uint64_t hmat_structure_signature(const hmat::HMatrix<T>& a) {
+  std::uint64_t h = hash_mix(0x686d'6174'7369'67ULL,  // "hmatsig"
+                             static_cast<std::uint64_t>(a.kind()));
+  h = hash_mix(h, static_cast<std::uint64_t>(a.rows()));
+  h = hash_mix(h, static_cast<std::uint64_t>(a.cols()));
+  if (!a.is_leaf())
+    for (int i = 0; i < 2; ++i)
+      for (int j = 0; j < 2; ++j)
+        h = hash_mix(h, hmat_structure_signature(a.child(i, j)));
+  return h;
+}
+
+/// task_hlu through the graph cache: the dense fine-grain DAG — whose
+/// submission cost the paper singles out — is captured on first sight of
+/// the block structure and replayed afterwards (DESIGN.md section 10).
+template <typename T>
+void task_hlu_cached(rt::Engine& engine, hmat::HMatrix<T>& a,
+                     const rk::TruncationParams& tp, rt::GraphCache* cache) {
+  const std::uint64_t key =
+      hash_mix(hmat_structure_signature(a), 0x686c75ULL);
+  rt::run_epoch_cached(engine, cache, key, [&] {
+    HluTaskGraph<T> graph(engine, a, tp);
+    graph.submit();
+  });
 }
 
 }  // namespace hcham::core

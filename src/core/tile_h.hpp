@@ -12,9 +12,11 @@
 #pragma once
 
 #include <algorithm>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
+#include "common/hash.hpp"
 #include "cluster/cluster_tree.hpp"
 #include "hmatrix/build.hpp"
 #include "runtime/engine.hpp"
@@ -117,15 +119,44 @@ class TileHMatrix {
   /// Stored scalars / n^2 (paper Fig. 4 metric).
   double compression_ratio() const { return desc_->compression_ratio(); }
 
+  /// 64-bit hash of everything the factorize/solve task graphs are a
+  /// function of: problem size, tile grid, per-tile representation,
+  /// cluster-tree topology, and the admissibility/compression options
+  /// shaping the within-tile structure. Two instances with equal
+  /// signatures submit identical task graphs, so a graph captured on one
+  /// replays on the other — the graph-cache key contract (DESIGN.md
+  /// section 10).
+  std::uint64_t structure_signature() const {
+    std::uint64_t h = 0x7469'6c65'6873'6967ULL;  // "tilehsig"
+    h = hash_mix(h, static_cast<std::uint64_t>(n_));
+    h = hash_mix(h, static_cast<std::uint64_t>(opts_.tile_size));
+    h = hash_mix(h, static_cast<std::uint64_t>(num_tiles()));
+    h = hash_mix(h, static_cast<std::uint64_t>(opts_.format));
+    h = hash_mix(h, static_cast<std::uint64_t>(opts_.clustering.leaf_size));
+    h = hash_mix(h, static_cast<std::uint64_t>(opts_.clustering.strategy));
+    const cluster::AdmissibilityCondition& adm = opts_.hmatrix.admissibility;
+    h = hash_mix(h, static_cast<std::uint64_t>(adm.kind));
+    h = hash_double(h, adm.eta);
+    h = hash_mix(h, adm.use_min_diameter ? 1 : 0);
+    h = hash_double(h, opts_.hmatrix.compression.eps);
+    h = hash_mix(h,
+                 static_cast<std::uint64_t>(opts_.hmatrix.compression.max_rank));
+    h = hash_mix(h, clustering_.tree.structure_signature());
+    return h;
+  }
+
   /// Submit the tiled H-LU task graph (paper Algorithm 1 with H-kernels).
   /// Call engine.wait_all() to execute; or use factorize().
   void factorize_submit(rt::Engine& engine) {
     tile::tiled_getrf(engine, *desc_, opts_.truncation());
   }
 
-  void factorize(rt::Engine& engine) {
-    factorize_submit(engine);
-    engine.wait_all();
+  /// Factorize; with a cache the epoch is captured on first sight of this
+  /// structure signature and replayed afterwards (DESIGN.md section 10).
+  void factorize(rt::Engine& engine, rt::GraphCache* cache = nullptr) {
+    rt::run_epoch_cached(engine, cache,
+                         hash_mix(structure_signature(), kEpochLu),
+                         [&] { factorize_submit(engine); });
   }
 
   /// Submit the tiled H-Cholesky task graph (A = L L^H; valid for the
@@ -134,25 +165,30 @@ class TileHMatrix {
     tile::tiled_potrf(engine, *desc_, opts_.truncation());
   }
 
-  void factorize_cholesky(rt::Engine& engine) {
-    factorize_cholesky_submit(engine);
-    engine.wait_all();
+  void factorize_cholesky(rt::Engine& engine,
+                          rt::GraphCache* cache = nullptr) {
+    rt::run_epoch_cached(engine, cache,
+                         hash_mix(structure_signature(), kEpochCholesky),
+                         [&] { factorize_cholesky_submit(engine); });
   }
 
   /// Solve A X = B in the ORIGINAL index ordering, in place, using the
   /// tiled factors. B may hold any number of right-hand-side columns;
   /// they are split into panels of `panel_width` columns so independent
   /// panels run concurrently (0 = pick a width from the engine's worker
-  /// count). Executes the solve task graph on `engine`.
-  void solve(rt::Engine& engine, la::MatrixView<T> b,
-             index_t panel_width = 0) {
-    solve_impl(engine, b, /*cholesky=*/false, panel_width);
+  /// count). Executes the solve task graph on `engine`; with a cache the
+  /// graph is captured once per (structure, nrhs, panel width) and
+  /// replayed on subsequent solves.
+  void solve(rt::Engine& engine, la::MatrixView<T> b, index_t panel_width = 0,
+             rt::GraphCache* cache = nullptr) {
+    solve_impl(engine, b, /*cholesky=*/false, panel_width, cache);
   }
 
   /// Solve after factorize_cholesky().
   void solve_cholesky(rt::Engine& engine, la::MatrixView<T> b,
-                      index_t panel_width = 0) {
-    solve_impl(engine, b, /*cholesky=*/true, panel_width);
+                      index_t panel_width = 0,
+                      rt::GraphCache* cache = nullptr) {
+    solve_impl(engine, b, /*cholesky=*/true, panel_width, cache);
   }
 
   /// y = alpha A x + beta y in the ORIGINAL index ordering (sequential;
@@ -225,8 +261,14 @@ class TileHMatrix {
     node.make_full(std::move(dense));
   }
 
+  // Epoch-kind tags mixed into the cache key so the four graph shapes of
+  // one structure (LU/Cholesky factor, LU/Cholesky solve) never collide.
+  static constexpr std::uint64_t kEpochLu = 0x6c75;
+  static constexpr std::uint64_t kEpochCholesky = 0x636f6c;
+  static constexpr std::uint64_t kEpochSolve = 0x736f6c76;
+
   void solve_impl(rt::Engine& engine, la::MatrixView<T> b, bool cholesky,
-                  index_t panel_width) {
+                  index_t panel_width, rt::GraphCache* cache = nullptr) {
     HCHAM_CHECK(b.rows() == n_ && b.cols() >= 1);
     const index_t nrhs = b.cols();
     if (panel_width <= 0) {
@@ -240,12 +282,20 @@ class TileHMatrix {
     for (index_t c = 0; c < nrhs; ++c)
       for (index_t i = 0; i < n_; ++i)
         bp(i, c) = b(clustering_.tree.perm(i), c);
-    if (cholesky) {
-      tile::tiled_potrs(engine, *desc_, bp.view(), panel_width);
-    } else {
-      tile::tiled_getrs(engine, *desc_, bp.view(), panel_width);
-    }
-    engine.wait_all();
+    // The solve graph is a function of the tile structure AND the RHS
+    // panelization, so both feed the key (panel_width is resolved above,
+    // covering the worker-count-dependent auto width).
+    std::uint64_t key = hash_mix(structure_signature(), kEpochSolve);
+    key = hash_mix(key, cholesky ? kEpochCholesky : kEpochLu);
+    key = hash_mix(key, static_cast<std::uint64_t>(nrhs));
+    key = hash_mix(key, static_cast<std::uint64_t>(panel_width));
+    rt::run_epoch_cached(engine, cache, key, [&] {
+      if (cholesky) {
+        tile::tiled_potrs(engine, *desc_, bp.view(), panel_width);
+      } else {
+        tile::tiled_getrs(engine, *desc_, bp.view(), panel_width);
+      }
+    });
     for (index_t c = 0; c < nrhs; ++c)
       for (index_t i = 0; i < n_; ++i)
         b(clustering_.tree.perm(i), c) = bp(i, c);

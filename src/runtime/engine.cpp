@@ -11,6 +11,7 @@
 #include <sstream>
 #include <thread>
 
+#include "common/counters.hpp"
 #include "common/rng.hpp"
 #include "common/timer.hpp"
 #include "la/workspace.hpp"
@@ -49,6 +50,21 @@ struct PrioLess {
     const Task& tb = (*tasks)[static_cast<std::size_t>(b)];
     if (ta.priority != tb.priority) return ta.priority < tb.priority;
     return ta.id > tb.id;  // older first when popped from a max-heap
+  }
+};
+
+/// Same ordering as PrioLess, reading priorities from a flat epoch-local
+/// array instead of the Task records, so the lock-light queues serve both
+/// live tasks (ids offset by the retirement base) and replayed slots
+/// (epoch-local ids, base 0) with one comparator.
+struct LLPrioLess {
+  const std::vector<int>* prio;
+  TaskId base;
+  bool operator()(TaskId a, TaskId b) const {
+    const int pa = (*prio)[static_cast<std::size_t>(a - base)];
+    const int pb = (*prio)[static_cast<std::size_t>(b - base)];
+    if (pa != pb) return pa < pb;
+    return a > b;  // older first when popped from a max-heap
   }
 };
 
@@ -129,8 +145,58 @@ struct Engine::Impl {
   /// history and hold every submitted closure alive forever.
   index_t retired = 0;
 
+  // --- capture / replay state (DESIGN.md section 10) ---------------------
+  bool capture_armed = false;  ///< record the next epoch into `captured`
+  index_t capture_start = 0;   ///< first task id of the captured epoch
+  std::shared_ptr<const CapturedGraph> captured;
+  std::shared_ptr<const CapturedGraph> replay;    ///< armed replay graph
+  std::vector<std::function<void()>> replay_fns;  ///< slot -> closure
+  index_t replay_next = 0;
+  std::atomic<std::uint64_t> epochs_captured{0};
+  std::atomic<std::uint64_t> epochs_replayed{0};
+
+  /// Epoch-local priority view for LLPrioLess: live epochs copy the tasks'
+  /// submit-time priorities (indexed by id - ll_base), replays install the
+  /// captured graph's critical-path priorities (indexed by slot).
+  std::vector<int> ll_prio;
+
+  // Submission-phase stopwatch: opened by the first submit() of an epoch
+  // (or by begin_replay) and closed on wait_all() entry. Feeds the
+  // submit_live_ns / submit_replay_ns counters the overhead bench gates on.
+  bool submit_clock_open = false;
+  std::chrono::steady_clock::time_point submit_clock_start;
+  double last_submit_s = 0.0;
+
   explicit Impl(Options o) : opts(o) {
     HCHAM_CHECK(opts.num_workers >= 1);
+  }
+
+  bool all_drained() const {
+    for (std::size_t i = static_cast<std::size_t>(retired); i < tasks.size();
+         ++i)
+      if (!tasks[i].done) return false;
+    return true;
+  }
+
+  void open_submit_clock() {
+    if (submit_clock_open) return;
+    submit_clock_open = true;
+    submit_clock_start = std::chrono::steady_clock::now();
+  }
+
+  void close_submit_clock(bool replay_mode) {
+    if (!submit_clock_open) {
+      last_submit_s = 0.0;
+      return;
+    }
+    submit_clock_open = false;
+    last_submit_s = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - submit_clock_start)
+                        .count();
+    auto& counter = replay_mode ? runtime_counters().submit_replay_ns
+                                : runtime_counters().submit_live_ns;
+    counter.fetch_add(static_cast<std::uint64_t>(last_submit_s * 1.0e9),
+                      std::memory_order_relaxed);
   }
 
   void add_edge(TaskId from, TaskId to) {
@@ -486,7 +552,7 @@ struct Engine::Impl {
         for (const TaskId id : batch) {
           prio_heap_ll.push_back(id);
           std::push_heap(prio_heap_ll.begin(), prio_heap_ll.end(),
-                         PrioLess{&tasks});
+                         LLPrioLess{&ll_prio, ll_base});
         }
         prio_size.fetch_add(static_cast<index_t>(batch.size()));
         break;
@@ -503,7 +569,8 @@ struct Engine::Impl {
         std::lock_guard<std::mutex> lk(q.mu);
         for (const TaskId id : batch) {
           q.heap.push_back(id);
-          std::push_heap(q.heap.begin(), q.heap.end(), PrioLess{&tasks});
+          std::push_heap(q.heap.begin(), q.heap.end(),
+                         LLPrioLess{&ll_prio, ll_base});
         }
         q.size.fetch_add(static_cast<index_t>(batch.size()));
         break;
@@ -518,7 +585,7 @@ struct Engine::Impl {
         std::lock_guard<std::mutex> lk(prio_mu);
         if (prio_heap_ll.empty()) return -1;
         std::pop_heap(prio_heap_ll.begin(), prio_heap_ll.end(),
-                      PrioLess{&tasks});
+                      LLPrioLess{&ll_prio, ll_base});
         const TaskId id = prio_heap_ll.back();
         prio_heap_ll.pop_back();
         prio_size.fetch_sub(1);
@@ -562,7 +629,8 @@ struct Engine::Impl {
         if (own.size.load() > 0) {
           std::lock_guard<std::mutex> lk(own.mu);
           if (!own.heap.empty()) {
-            std::pop_heap(own.heap.begin(), own.heap.end(), PrioLess{&tasks});
+            std::pop_heap(own.heap.begin(), own.heap.end(),
+                          LLPrioLess{&ll_prio, ll_base});
             const TaskId id = own.heap.back();
             own.heap.pop_back();
             own.size.fetch_sub(1);
@@ -576,7 +644,8 @@ struct Engine::Impl {
           if (vq.size.load() == 0) continue;
           std::lock_guard<std::mutex> lk(vq.mu);
           if (vq.heap.empty()) continue;
-          std::pop_heap(vq.heap.begin(), vq.heap.end(), PrioLess{&tasks});
+          std::pop_heap(vq.heap.begin(), vq.heap.end(),
+                        LLPrioLess{&ll_prio, ll_base});
           const TaskId id = vq.heap.back();
           vq.heap.pop_back();
           vq.size.fetch_sub(1);
@@ -705,17 +774,61 @@ struct Engine::Impl {
     }
   }
 
-  void run_parallel_locklight() {
-    const auto t0 = std::chrono::steady_clock::now();
-    const int P = opts.num_workers;
+  /// Reset the per-worker queues, parked mask, and central heap for one
+  /// lock-light epoch (live or replay).
+  void ll_reset_queues() {
     seed_rr = 0;  // simulator replays restart the round-robin each epoch
     ll_workers.clear();
-    for (int w = 0; w < P; ++w)
+    for (int w = 0; w < opts.num_workers; ++w)
       ll_workers.push_back(std::make_unique<WorkerState>());
     prio_heap_ll.clear();
     prio_size.store(0);
     parked_mask.store(0);
+  }
+
+  /// Seed one initially-ready task. The round-robin target is advanced for
+  /// every ready task under every policy (prio simply ignores it), exactly
+  /// like the simulator's seeding.
+  void ll_seed(TaskId id) {
+    const int target = next_seed_worker();
+    if (opts.policy == SchedulerPolicy::Priority) {
+      prio_heap_ll.push_back(id);
+      std::push_heap(prio_heap_ll.begin(), prio_heap_ll.end(),
+                     LLPrioLess{&ll_prio, ll_base});
+      prio_size.fetch_add(1);
+    } else if (opts.policy == SchedulerPolicy::WorkStealing) {
+      auto& q = *ll_workers[static_cast<std::size_t>(target)];
+      q.deque.push_back(id);
+      q.size.fetch_add(1);
+    } else {
+      auto& q = *ll_workers[static_cast<std::size_t>(target)];
+      q.heap.push_back(id);
+      std::push_heap(q.heap.begin(), q.heap.end(),
+                     LLPrioLess{&ll_prio, ll_base});
+      q.size.fetch_add(1);
+    }
+  }
+
+  /// Merge the per-worker trace buffers in start order; only this epoch's
+  /// slice is sorted (timestamps are relative to each epoch's start).
+  void merge_ll_trace() {
+    if (!opts.record_trace) return;
+    const auto epoch_begin = static_cast<std::ptrdiff_t>(trace.size());
+    for (const auto& wsp : ll_workers)
+      trace.insert(trace.end(), wsp->local_trace.begin(),
+                   wsp->local_trace.end());
+    std::stable_sort(trace.begin() + epoch_begin, trace.end(),
+                     [](const TraceEvent& a, const TraceEvent& b) {
+                       return a.start_s < b.start_s;
+                     });
+  }
+
+  void run_parallel_locklight() {
+    const auto t0 = std::chrono::steady_clock::now();
+    const int P = opts.num_workers;
+    ll_reset_queues();
     ll_base = retired;
+    ll_prio.assign(tasks.size() - static_cast<std::size_t>(ll_base), 0);
     pending_ll = std::make_unique<std::atomic<index_t>[]>(
         tasks.size() - static_cast<std::size_t>(ll_base));
     index_t rem = 0;
@@ -723,28 +836,10 @@ struct Engine::Impl {
          ++i) {
       Task& t = tasks[i];
       if (t.done) continue;
+      ll_prio[static_cast<std::size_t>(t.id - ll_base)] = t.priority;
       pending_ll[static_cast<std::size_t>(t.id - ll_base)].store(t.pending);
       ++rem;
-      if (t.pending != 0) continue;
-      // Initially-ready tasks spread round-robin, exactly like the
-      // simulator's seeding (the seed target is advanced for every ready
-      // task under every policy, prio simply ignores it).
-      const int target = next_seed_worker();
-      if (opts.policy == SchedulerPolicy::Priority) {
-        prio_heap_ll.push_back(t.id);
-        std::push_heap(prio_heap_ll.begin(), prio_heap_ll.end(),
-                       PrioLess{&tasks});
-        prio_size.fetch_add(1);
-      } else if (opts.policy == SchedulerPolicy::WorkStealing) {
-        auto& q = *ll_workers[static_cast<std::size_t>(target)];
-        q.deque.push_back(t.id);
-        q.size.fetch_add(1);
-      } else {
-        auto& q = *ll_workers[static_cast<std::size_t>(target)];
-        q.heap.push_back(t.id);
-        std::push_heap(q.heap.begin(), q.heap.end(), PrioLess{&tasks});
-        q.size.fetch_add(1);
-      }
+      if (t.pending == 0) ll_seed(t.id);
     }
     if (rem == 0) return;
     remaining_ll.store(rem);
@@ -756,19 +851,289 @@ struct Engine::Impl {
         ll_worker_loop(w, t0);
       });
     for (auto& th : pool) th.join();
-    if (opts.record_trace) {
-      // Merge the per-worker buffers in start order; only this epoch's
-      // slice is sorted (timestamps are relative to each epoch's start).
-      const auto epoch_begin =
-          static_cast<std::ptrdiff_t>(trace.size());
-      for (const auto& wsp : ll_workers)
-        trace.insert(trace.end(), wsp->local_trace.begin(),
-                     wsp->local_trace.end());
-      std::stable_sort(trace.begin() + epoch_begin, trace.end(),
-                       [](const TraceEvent& a, const TraceEvent& b) {
-                         return a.start_s < b.start_s;
-                       });
+    merge_ll_trace();
+  }
+
+  // --- capture (DESIGN.md section 10) -------------------------------------
+
+  /// Build the CapturedGraph for the epoch [capture_start, tasks.size()).
+  /// Runs inside wait_all() after execution — the measured durations feed
+  /// the critical-path pass — but BEFORE retire_epoch(), which frees the
+  /// live tasks' closures and access lists; the captured copies are what
+  /// make replay safe after retirement. A failed or conflicted epoch is
+  /// discarded: callers see the exception and must not cache it.
+  void finish_capture() {
+    capture_armed = false;
+    captured.reset();
+    if (first_error || !conflict_log.empty()) return;
+    const index_t base = capture_start;
+    const auto n =
+        static_cast<std::size_t>(static_cast<index_t>(tasks.size()) - base);
+    auto g = std::make_shared<CapturedGraph>();
+    g->count = static_cast<index_t>(n);
+    g->succ_off.assign(n + 1, 0);
+    g->acc_off.assign(n + 1, 0);
+    g->pending0.assign(n, 0);
+    g->duration_s.assign(n, 0.0);
+    g->label.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const Task& t = tasks[static_cast<std::size_t>(base) + i];
+      if (!t.done) return;  // stalled epoch: nothing worth recording
+      g->succ_off[i + 1] =
+          g->succ_off[i] + static_cast<index_t>(t.successors.size());
+      g->acc_off[i + 1] =
+          g->acc_off[i] + static_cast<index_t>(t.accesses.size());
+      g->pending0[i] = t.num_deps;
+      g->duration_s[i] = t.duration_s;
+      g->label[i] = t.label;
     }
+    g->succ.reserve(static_cast<std::size_t>(g->succ_off[n]));
+    g->acc_handle.reserve(static_cast<std::size_t>(g->acc_off[n]));
+    g->acc_write.reserve(static_cast<std::size_t>(g->acc_off[n]));
+    for (std::size_t i = 0; i < n; ++i) {
+      const Task& t = tasks[static_cast<std::size_t>(base) + i];
+      for (const TaskId s : t.successors) {
+        // begin_capture() required a drained engine and wait_all() drains
+        // before any later submission, so every edge stays in the epoch.
+        HCHAM_DCHECK(s >= base && s - base < static_cast<index_t>(n));
+        g->succ.push_back(s - base);
+      }
+      for (const Access& a : t.accesses) {
+        g->acc_handle.push_back(a.handle.id);
+        g->acc_write.push_back(a.mode == AccessMode::Read ? 0 : 1);
+        g->max_handle = std::max(g->max_handle, a.handle.id);
+      }
+    }
+    assign_critical_path_priorities(*g);
+    fuse_linear_chains(*g);
+    epochs_captured.fetch_add(1, std::memory_order_relaxed);
+    runtime_counters().graph_captures.fetch_add(1,
+                                                std::memory_order_relaxed);
+    runtime_counters().graph_fused_pairs.fetch_add(
+        static_cast<std::uint64_t>(g->fused_pairs),
+        std::memory_order_relaxed);
+    captured = std::move(g);
+  }
+
+  // --- replay execution ---------------------------------------------------
+  //
+  // Slots are epoch-local ids (0..count in submission order); the engine's
+  // task/handle history is untouched, so trace events and conflict
+  // diagnostics of a replayed epoch index slots, not task ids.
+
+  void replay_report_conflict(index_t slot, index_t other, index_t handle,
+                              const char* kind) {
+    const CapturedGraph& g = *replay;
+    const std::string& sl = g.label[static_cast<std::size_t>(slot)];
+    const std::string& ol = g.label[static_cast<std::size_t>(other)];
+    std::ostringstream msg;
+    msg << kind << " access conflict on handle #" << handle;
+    if (handle < static_cast<index_t>(handles.size()) &&
+        !handles[static_cast<std::size_t>(handle)].name.empty())
+      msg << " '" << handles[static_cast<std::size_t>(handle)].name << "'";
+    msg << ": replay slot " << slot << (sl.empty() ? "" : " [" + sl + "]")
+        << " started while slot " << other
+        << (ol.empty() ? "" : " [" + ol + "]") << " was running";
+    conflict_log.push_back(msg.str());
+  }
+
+  /// The checker arrays are sized to the captured graph's handle range:
+  /// the graph may have been captured on another engine (shared cache)
+  /// whose handle space is larger than this one's.
+  void replay_checker_reset() {
+    conflict_log.clear();
+    const auto nh = static_cast<std::size_t>(std::max<index_t>(
+        static_cast<index_t>(handles.size()), replay->max_handle + 1));
+    active_writer.assign(nh, -1);
+    active_readers.assign(nh, 0);
+    reader_witness.assign(nh, -1);
+  }
+
+  void replay_checker_enter(index_t slot) {
+    const CapturedGraph& g = *replay;
+    const auto s = static_cast<std::size_t>(slot);
+    for (index_t e = g.acc_off[s]; e < g.acc_off[s + 1]; ++e) {
+      const auto ei = static_cast<std::size_t>(e);
+      const auto h = static_cast<std::size_t>(g.acc_handle[ei]);
+      if (!g.acc_write[ei]) {
+        if (active_writer[h] >= 0)
+          replay_report_conflict(slot, active_writer[h], g.acc_handle[ei],
+                                 "R/W");
+        ++active_readers[h];
+        reader_witness[h] = slot;
+      } else {
+        if (active_writer[h] >= 0)
+          replay_report_conflict(slot, active_writer[h], g.acc_handle[ei],
+                                 "W/W");
+        else if (active_readers[h] > 0)
+          replay_report_conflict(slot, reader_witness[h], g.acc_handle[ei],
+                                 "W/R");
+        active_writer[h] = slot;
+      }
+    }
+  }
+
+  void replay_checker_leave(index_t slot) {
+    const CapturedGraph& g = *replay;
+    const auto s = static_cast<std::size_t>(slot);
+    for (index_t e = g.acc_off[s]; e < g.acc_off[s + 1]; ++e) {
+      const auto ei = static_cast<std::size_t>(e);
+      const auto h = static_cast<std::size_t>(g.acc_handle[ei]);
+      if (!g.acc_write[ei]) {
+        --active_readers[h];
+      } else if (active_writer[h] == slot) {
+        active_writer[h] = -1;
+      }
+    }
+  }
+
+  /// Slot order is a valid topological order (slots ascend in submission
+  /// order of the captured epoch), so single-threaded replay is a plain
+  /// scan; fusion is irrelevant here. Also stands in for the fuzz path,
+  /// whose random-replay machinery reads live-task state, and for > 64
+  /// workers, where the parked-worker bitmask would overflow.
+  void run_replay_sequential() {
+    const CapturedGraph& g = *replay;
+    la::WorkspaceLease workspace_lease;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (index_t i = 0; i < g.count; ++i) {
+      const double start =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      Timer timer;
+      try {
+        replay_fns[static_cast<std::size_t>(i)]();
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+      }
+      if (opts.record_trace)
+        trace.push_back(TraceEvent{i, 0, start, start + timer.seconds()});
+    }
+  }
+
+  void replay_worker_loop(int w,
+                          const std::chrono::steady_clock::time_point t0) {
+    const CapturedGraph& g = *replay;
+    auto& me = *ll_workers[static_cast<std::size_t>(w)];
+    std::vector<TaskId> batch;
+    int idle_rounds = 0;
+    constexpr int kSpinRounds = 6;   // exponential pause backoff ...
+    constexpr int kYieldRounds = 4;  // ... then yields, then park
+    while (remaining_ll.load() != 0) {
+      TaskId id = ll_pop(w);
+      if (id < 0) {
+        ++idle_rounds;
+        if (idle_rounds <= kSpinRounds) {
+          for (int i = 0; i < (1 << idle_rounds); ++i) cpu_pause();
+        } else if (idle_rounds <= kSpinRounds + kYieldRounds) {
+          std::this_thread::yield();
+        } else {
+          ll_park(w);
+          idle_rounds = 0;
+        }
+        continue;
+      }
+      idle_rounds = 0;
+      // Run the popped slot, then walk its fused chain inline: each fused
+      // tail has in-degree 1, so this worker owns it outright and skips the
+      // queue round-trip (the offline fusion pass, graph_cache.hpp).
+      while (id >= 0) {
+        const auto slot = static_cast<std::size_t>(id);
+        if (opts.check_conflicts) {
+          std::lock_guard<std::mutex> lk(mu);
+          replay_checker_enter(id);
+        }
+        const double start =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          t0)
+                .count();
+        Timer timer;
+        std::exception_ptr error;
+        try {
+          replay_fns[slot]();
+        } catch (...) {
+          error = std::current_exception();
+        }
+        const double dur = timer.seconds();
+        if (opts.check_conflicts) {
+          std::lock_guard<std::mutex> lk(mu);
+          replay_checker_leave(id);
+        }
+        if (error) {
+          std::lock_guard<std::mutex> lk(err_mu);
+          if (!first_error) first_error = error;
+        }
+        const TaskId fused = g.fused_next[slot];
+        batch.clear();
+        for (index_t e = g.succ_off[slot]; e < g.succ_off[slot + 1]; ++e) {
+          const TaskId succ = g.succ[static_cast<std::size_t>(e)];
+          if (succ == fused) continue;  // runs inline below, never queued
+          if (pending_ll[static_cast<std::size_t>(succ)].fetch_sub(1) == 1)
+            batch.push_back(succ);
+        }
+        if (!batch.empty()) {
+          ll_push_batch(w, batch);
+          // With a fused tail this worker stays busy, so every released
+          // slot is surplus for parked workers; otherwise it takes one
+          // itself, as in the live path.
+          const auto surplus =
+              static_cast<index_t>(batch.size()) - (fused >= 0 ? 0 : 1);
+          if (surplus > 0) ll_wake(surplus);
+        }
+        if (opts.record_trace)
+          me.local_trace.push_back(TraceEvent{id, w, start, start + dur});
+        if (remaining_ll.fetch_sub(1) == 1) {
+          // A fused tail still pending would keep remaining_ll above 1,
+          // so reaching 0 here means the chain (and the epoch) is done.
+          ll_wake_all();
+          return;
+        }
+        id = fused;
+      }
+    }
+  }
+
+  void run_replay_locklight() {
+    const CapturedGraph& g = *replay;
+    const auto t0 = std::chrono::steady_clock::now();
+    const int P = opts.num_workers;
+    ll_reset_queues();
+    ll_base = 0;  // replay slots are epoch-local
+    ll_prio = g.priority;
+    pending_ll = std::make_unique<std::atomic<index_t>[]>(
+        static_cast<std::size_t>(g.count));
+    for (index_t i = 0; i < g.count; ++i)
+      pending_ll[static_cast<std::size_t>(i)].store(
+          g.pending0[static_cast<std::size_t>(i)]);
+    for (index_t i = 0; i < g.count; ++i)
+      if (g.pending0[static_cast<std::size_t>(i)] == 0) ll_seed(i);
+    if (g.count == 0) return;
+    remaining_ll.store(g.count);
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(P));
+    for (int w = 0; w < P; ++w)
+      pool.emplace_back([this, w, t0] {
+        la::WorkspaceLease workspace_lease;
+        replay_worker_loop(w, t0);
+      });
+    for (auto& th : pool) th.join();
+    merge_ll_trace();
+  }
+
+  void run_replay() {
+    HCHAM_CHECK_MSG(
+        replay_next == replay->count,
+        "replay: " + std::to_string(replay_next) + " closures bound for " +
+            std::to_string(replay->count) + " captured slots");
+    if (opts.check_conflicts) replay_checker_reset();
+    if (opts.num_workers == 1 || opts.fuzz_schedule ||
+        opts.num_workers > 64) {
+      run_replay_sequential();
+    } else {
+      run_replay_locklight();
+    }
+    epochs_replayed.fetch_add(1, std::memory_order_relaxed);
+    runtime_counters().graph_replays.fetch_add(1, std::memory_order_relaxed);
   }
 };
 
@@ -777,6 +1142,10 @@ Engine::Engine(Options opts) : impl_(std::make_unique<Impl>(opts)) {}
 Engine::~Engine() = default;
 
 Handle Engine::register_data(std::string name) {
+  // During replay no accesses are interpreted, so per-epoch scratch data
+  // (e.g. the solver's RHS panels) gets a placeholder handle instead of
+  // growing the engine's handle table on every replayed epoch.
+  if (impl_->replay != nullptr) return Handle{-1};
   impl_->handles.push_back(HandleState{std::move(name), -1, {}});
   return Handle{static_cast<index_t>(impl_->handles.size()) - 1};
 }
@@ -785,15 +1154,27 @@ TaskId Engine::submit(std::function<void()> fn, std::vector<Access> accesses,
                       int priority, std::string label) {
   HCHAM_CHECK_MSG(!impl_->executing.load(std::memory_order_acquire),
                   "submit() called while wait_all() is running");
+  impl_->open_submit_clock();
+  if (impl_->replay != nullptr) {
+    // Replay re-bind: the captured graph already fixes edges, priorities,
+    // and access semantics, so only the closure is taken; everything else
+    // the caller passes is ignored. Submission order IS the slot order.
+    Impl& im = *impl_;
+    HCHAM_CHECK_MSG(im.replay_next < im.replay->count,
+                    "replay: more submissions than captured slots");
+    im.replay_fns[static_cast<std::size_t>(im.replay_next)] = std::move(fn);
+    return im.replay_next++;
+  }
   const TaskId id = static_cast<TaskId>(impl_->tasks.size());
   Task t;
   t.id = id;
   t.fn = std::move(fn);
   t.label = std::move(label);
   t.priority = priority;
-  if (impl_->opts.check_conflicts) {
+  if (impl_->opts.check_conflicts || impl_->capture_armed) {
     // The checker needs the accesses at execution time, collapsed to one
-    // strongest mode per handle (a task may list a handle several times).
+    // strongest mode per handle (a task may list a handle several times);
+    // a capture records the same collapsed lists so replays stay checkable.
     for (const Access& a : accesses) {
       const AccessMode m =
           a.mode == AccessMode::Read ? AccessMode::Read : AccessMode::Write;
@@ -842,20 +1223,39 @@ void Engine::wait_all() {
     }
     ~ExecGuard() { flag.store(false, std::memory_order_release); }
   } guard(impl_->executing);
-  if (impl_->opts.check_conflicts) impl_->checker_reset();
-  if (impl_->opts.fuzz_schedule) {
-    impl_->run_fuzzed();
-  } else if (impl_->opts.num_workers == 1) {
-    impl_->run_sequential();
-  } else if (impl_->opts.check_conflicts || impl_->opts.num_workers > 64) {
-    // The conflict checker's bookkeeping needs the serialized pick/finish
-    // protocol of the global-lock path; beyond 64 workers the lock-light
-    // parked-worker bitmask would overflow.
-    impl_->run_parallel_locked();
+  Impl& im = *impl_;
+  im.close_submit_clock(im.replay != nullptr);
+  if (im.replay != nullptr) {
+    // Replay dispatch: the captured DAG runs as-is; the engine's own
+    // task/handle history is untouched, so there is nothing to retire.
+    // The armed state is always cleared — also when dispatch throws on a
+    // slot-count mismatch — so the engine stays usable.
+    struct ReplayGuard {
+      Impl& im;
+      ~ReplayGuard() {
+        im.replay.reset();
+        im.replay_fns.clear();
+        im.replay_next = 0;
+      }
+    } rguard{im};
+    im.run_replay();
   } else {
-    impl_->run_parallel_locklight();
+    if (im.opts.check_conflicts) im.checker_reset();
+    if (im.opts.fuzz_schedule) {
+      im.run_fuzzed();
+    } else if (im.opts.num_workers == 1) {
+      im.run_sequential();
+    } else if (im.opts.check_conflicts || im.opts.num_workers > 64) {
+      // The conflict checker's bookkeeping needs the serialized pick/finish
+      // protocol of the global-lock path; beyond 64 workers the lock-light
+      // parked-worker bitmask would overflow.
+      im.run_parallel_locked();
+    } else {
+      im.run_parallel_locklight();
+    }
+    if (im.capture_armed) im.finish_capture();
+    im.retire_epoch();
   }
-  impl_->retire_epoch();
   // A conflict means the engine itself scheduled two overlapping accesses:
   // more fundamental than any task failure, so it is surfaced first.
   if (!impl_->conflict_log.empty()) {
@@ -891,6 +1291,53 @@ int Engine::num_workers() const { return impl_->opts.num_workers; }
 SchedulerPolicy Engine::policy() const { return impl_->opts.policy; }
 
 int Engine::seed_cursor() const { return impl_->seed_rr; }
+
+bool Engine::begin_capture() {
+  Impl& im = *impl_;
+  HCHAM_CHECK_MSG(!im.executing.load(std::memory_order_acquire),
+                  "begin_capture() called while wait_all() is running");
+  if (im.capture_armed || im.replay != nullptr || !im.all_drained())
+    return false;
+  im.capture_armed = true;
+  im.capture_start = static_cast<index_t>(im.tasks.size());
+  im.captured.reset();
+  return true;
+}
+
+std::shared_ptr<const CapturedGraph> Engine::end_capture() {
+  Impl& im = *impl_;
+  im.capture_armed = false;  // also cancels an armed capture before wait_all
+  std::shared_ptr<const CapturedGraph> g = std::move(im.captured);
+  im.captured.reset();
+  return g;
+}
+
+void Engine::begin_replay(std::shared_ptr<const CapturedGraph> graph) {
+  Impl& im = *impl_;
+  HCHAM_CHECK_MSG(graph != nullptr, "begin_replay: null graph");
+  HCHAM_CHECK_MSG(!im.executing.load(std::memory_order_acquire),
+                  "begin_replay() called while wait_all() is running");
+  HCHAM_CHECK_MSG(!im.capture_armed && im.replay == nullptr,
+                  "begin_replay: capture/replay already armed");
+  HCHAM_CHECK_MSG(im.all_drained(),
+                  "begin_replay: engine has undrained live tasks");
+  im.replay = std::move(graph);
+  im.replay_fns.assign(static_cast<std::size_t>(im.replay->count), nullptr);
+  im.replay_next = 0;
+  im.open_submit_clock();
+}
+
+bool Engine::capturing() const { return impl_->capture_armed; }
+bool Engine::replaying() const { return impl_->replay != nullptr; }
+bool Engine::drained() const { return impl_->all_drained(); }
+
+Engine::ReplayStats Engine::replay_stats() const {
+  return ReplayStats{
+      impl_->epochs_captured.load(std::memory_order_relaxed),
+      impl_->epochs_replayed.load(std::memory_order_relaxed)};
+}
+
+double Engine::last_submit_phase_s() const { return impl_->last_submit_s; }
 
 TaskGraph Engine::graph() const {
   TaskGraph g;

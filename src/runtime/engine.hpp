@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "runtime/graph_cache.hpp"
 #include "runtime/types.hpp"
 
 namespace hcham::rt {
@@ -86,6 +87,59 @@ class Engine {
   /// wait_all() epoch (empty unless Options::check_conflicts).
   const std::vector<std::string>& conflicts() const;
 
+  // --- symbolic capture & replay (DAG compilation, DESIGN.md section 10) --
+  //
+  // begin_capture() arms recording for the NEXT epoch: the tasks submitted
+  // until the following wait_all() are recorded — closure slots in
+  // submission order, collapsed access lists, and the inferred edges — into
+  // an immutable CapturedGraph, built inside wait_all() after execution
+  // (so the measured durations feed the offline critical-path pass) and
+  // fetched with end_capture(). begin_replay(g) arms the opposite mode:
+  // subsequent submit() calls only re-bind their closures to the recorded
+  // slots in order (accesses, priority, and label are ignored — the graph
+  // is the contract) and the following wait_all() dispatches the captured
+  // DAG through the lock-light scheduler, skipping handle-state inference.
+  //
+  // Both modes require the engine to be drained (every prior task done):
+  // a captured epoch must not have live cross-epoch edges, or a replay
+  // could not reproduce them. Replay leaves the engine's own task/handle
+  // history untouched, so live and replayed epochs interleave freely.
+
+  /// Arm capture for the next epoch. Returns false (and stays live) if
+  /// capture/replay is already armed or undrained tasks exist.
+  bool begin_capture();
+
+  /// The graph recorded by the last captured epoch, or null when nothing
+  /// was captured (capture not armed, the epoch failed, or a conflict was
+  /// detected). Clears the armed/captured state either way.
+  std::shared_ptr<const CapturedGraph> end_capture();
+
+  /// Arm replay of `graph` for the next epoch. The next wait_all() runs
+  /// exactly graph->count closures; submitting more than that, or fewer by
+  /// the time wait_all() is called, is an Error.
+  void begin_replay(std::shared_ptr<const CapturedGraph> graph);
+
+  bool capturing() const;
+  bool replaying() const;
+
+  /// True when every submitted task has executed — the precondition for
+  /// arming capture or replay.
+  bool drained() const;
+
+  /// Per-engine tallies of capture/replay epochs (also mirrored into the
+  /// process-wide runtime_counters()). A serve session owns its engine, so
+  /// these are exactly the session's graph-cache activity.
+  struct ReplayStats {
+    std::uint64_t captured = 0;
+    std::uint64_t replayed = 0;
+  };
+  ReplayStats replay_stats() const;
+
+  /// Wall time of the last epoch's submission phase: first submit() (or
+  /// begin_replay()) up to wait_all() entry. Replay re-binds make this
+  /// near-zero; bench/replay_overhead gates on the ratio.
+  double last_submit_phase_s() const;
+
   /// Graphviz rendering of the dependency DAG (paper Fig. 1).
   std::string to_dot() const;
 
@@ -93,5 +147,33 @@ class Engine {
   struct Impl;
   std::unique_ptr<Impl> impl_;
 };
+
+/// Run one epoch through a graph cache: replay on hit, capture + insert on
+/// miss, plain live execution when `cache` is null, replay is disabled via
+/// HCHAM_REPLAY_DISABLE, or the engine is not drained (first epoch mixing
+/// with assembly, for example). `submit_fn` must perform the epoch's
+/// submissions (and nothing else); wait_all() is called here.
+template <typename SubmitFn>
+void run_epoch_cached(Engine& engine, GraphCache* cache, std::uint64_t key,
+                      SubmitFn&& submit_fn) {
+  if (cache == nullptr || replay_disabled() || !engine.drained()) {
+    submit_fn();
+    engine.wait_all();
+    return;
+  }
+  if (std::shared_ptr<const CapturedGraph> g = cache->lookup(key)) {
+    engine.begin_replay(std::move(g));
+    submit_fn();
+    engine.wait_all();
+    return;
+  }
+  const bool armed = engine.begin_capture();
+  submit_fn();
+  engine.wait_all();
+  if (armed) {
+    if (std::shared_ptr<const CapturedGraph> g = engine.end_capture())
+      cache->insert(key, std::move(g));
+  }
+}
 
 }  // namespace hcham::rt

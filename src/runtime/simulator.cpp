@@ -151,7 +151,15 @@ SimResult simulate(const TaskGraph& g, SchedulerPolicy policy, int workers,
   // Sequential submission: task i is available only once the submitting
   // thread has reached it.
   std::vector<double> release(static_cast<std::size_t>(n), 0.0);
-  if (params.submit_cost_s > 0.0 || params.edge_submit_cost_s > 0.0) {
+  if (params.replay_submission) {
+    // Replayed epoch: closures re-bind against the captured graph, flat
+    // cost per task, no dependency-inference component.
+    double cum = 0.0;
+    for (index_t i = 0; i < n; ++i) {
+      cum += params.replay_submit_cost_s;
+      release[static_cast<std::size_t>(i)] = cum;
+    }
+  } else if (params.submit_cost_s > 0.0 || params.edge_submit_cost_s > 0.0) {
     double cum = 0.0;
     for (index_t i = 0; i < n; ++i) {
       cum += params.submit_cost_s +

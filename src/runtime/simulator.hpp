@@ -32,6 +32,16 @@ struct SimParams {
   /// submission completes, which throttles very fine-grained DAGs.
   double submit_cost_s = 0.0;
   double edge_submit_cost_s = 0.0;
+  /// DAG-replay submission model (graph capture/replay, DESIGN.md section
+  /// 10): submission degenerates to re-binding one closure per task, so
+  /// each task costs a flat replay_submit_cost_s and the per-edge
+  /// inference cost vanishes entirely. When set, this overrides
+  /// submit_cost_s / edge_submit_cost_s in the release model; the
+  /// execution-side overheads (task_overhead_s, edge_overhead_s,
+  /// dispatch_serial_cost_s) are unchanged - replay only removes the
+  /// submission-side inference, not the runtime's dependency bookkeeping.
+  bool replay_submission = false;
+  double replay_submit_cost_s = 0.0;
   /// Serialized dispatch: every task acquisition passes through the
   /// runtime's shared state (queues, dependency counters) for this long,
   /// system-wide. This is the contention cost the paper identifies as the

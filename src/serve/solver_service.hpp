@@ -71,6 +71,13 @@ struct SessionOptions {
   int refine_iters = 0;       ///< 0: plain solve, no residual reporting
   double target_residual = 1e-12;
   index_t panel_width = 0;    ///< 0: auto from worker count
+  /// Capture/replay the factorization and solve task graphs through the
+  /// structure-keyed graph cache (DESIGN.md section 10). Repeated solves
+  /// against the same structure skip STF dependency inference entirely.
+  bool use_graph_cache = true;
+  /// Cache override for tests; null means GraphCache::global(). Ignored
+  /// when use_graph_cache is false.
+  rt::GraphCache* graph_cache = nullptr;
 };
 
 /// Assembled operator + factors + private engine. Factor once, solve many;
@@ -94,9 +101,9 @@ class Session {
                                       hopts));
     }
     if (opts.cholesky) {
-      s.factored_->factorize_cholesky(*s.engine_);
+      s.factored_->factorize_cholesky(*s.engine_, s.cache());
     } else {
-      s.factored_->factorize(*s.engine_);
+      s.factored_->factorize(*s.engine_, s.cache());
     }
     return s;
   }
@@ -107,12 +114,12 @@ class Session {
     if (op_) {
       return core::solve_refined(*factored_, *op_, *engine_, b,
                                  opts_.refine_iters, opts_.target_residual,
-                                 opts_.cholesky, opts_.panel_width);
+                                 opts_.cholesky, opts_.panel_width, cache());
     }
     if (opts_.cholesky) {
-      factored_->solve_cholesky(*engine_, b, opts_.panel_width);
+      factored_->solve_cholesky(*engine_, b, opts_.panel_width, cache());
     } else {
-      factored_->solve(*engine_, b, opts_.panel_width);
+      factored_->solve(*engine_, b, opts_.panel_width, cache());
     }
     return core::RefinementResult{};
   }
@@ -120,6 +127,13 @@ class Session {
   index_t size() const { return factored_->size(); }
   rt::Engine& engine() { return *engine_; }
   const SessionOptions& options() const { return opts_; }
+
+  /// Graph cache this session factors/solves through; null when disabled.
+  rt::GraphCache* cache() {
+    if (!opts_.use_graph_cache) return nullptr;
+    return opts_.graph_cache != nullptr ? opts_.graph_cache
+                                        : &rt::GraphCache::global();
+  }
 
  private:
   explicit Session(const SessionOptions& opts)
@@ -194,8 +208,17 @@ class SolverService {
     return fut;
   }
 
-  StatsSnapshot stats() const { return stats_.snapshot(); }
-  std::string stats_json() const { return to_json(stats_.snapshot()); }
+  StatsSnapshot stats() const {
+    StatsSnapshot s = stats_.snapshot();
+    // The session engine's capture/replay tallies are per-session graph
+    // activity (each Session owns its engine), folded into the snapshot so
+    // clients see cache effectiveness alongside the queue counters.
+    const rt::Engine::ReplayStats rs = session_.engine().replay_stats();
+    s.graph_captured = rs.captured;
+    s.graph_replayed = rs.replayed;
+    return s;
+  }
+  std::string stats_json() const { return to_json(stats()); }
   index_t queue_size() const { return queue_.size(); }
 
  private:

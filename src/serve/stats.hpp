@@ -70,6 +70,10 @@ struct StatsSnapshot {
   std::uint64_t solved_columns = 0; ///< total RHS columns across batches
   index_t queue_depth = 0;          ///< gauge: depth after the last batch pop
   index_t queue_peak = 0;           ///< max observed depth
+  /// Graph-cache activity on the session engine (epochs captured into /
+  /// replayed from the structure-keyed cache; see DESIGN.md section 10).
+  std::uint64_t graph_captured = 0;
+  std::uint64_t graph_replayed = 0;
   double p50_s = 0.0;
   double p95_s = 0.0;
   double p99_s = 0.0;
@@ -158,6 +162,8 @@ inline std::string to_json(const StatsSnapshot& s) {
      << ",\"mean_batch_cols\":" << s.mean_batch_cols()
      << ",\"queue\":{\"depth\":" << s.queue_depth
      << ",\"peak\":" << s.queue_peak << "}"
+     << ",\"graph\":{\"captured\":" << s.graph_captured
+     << ",\"replayed\":" << s.graph_replayed << "}"
      << ",\"latency_s\":{\"p50\":" << s.p50_s << ",\"p95\":" << s.p95_s
      << ",\"p99\":" << s.p99_s << "}}";
   return os.str();

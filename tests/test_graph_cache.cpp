@@ -1,0 +1,447 @@
+// Graph capture & replay regression tests (DESIGN.md section 10): engine
+// capture/replay semantics, the offline critical-path and chain-fusion
+// passes, cache-key invalidation (a structural change must MISS, never
+// replay a stale graph), the LRU eviction bound, interaction with epoch
+// retirement (a captured epoch whose live tasks were retired must not
+// dangle), and the serve-layer stats plumbing.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bem/testcase.hpp"
+#include "core/tile_h.hpp"
+#include "runtime/engine.hpp"
+#include "runtime/graph_cache.hpp"
+#include "serve/solver_service.hpp"
+
+namespace hcham {
+namespace {
+
+using rt::CapturedGraph;
+using rt::Engine;
+using rt::GraphCache;
+using rt::Handle;
+
+/// RAII environment override (the cache/replay knobs are read per call).
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    ::setenv(name, value, 1);
+  }
+  ~ScopedEnv() { ::unsetenv(name_); }
+
+ private:
+  const char* name_;
+};
+
+// --- engine capture/replay semantics ---------------------------------------
+
+TEST(GraphCapture, CapturesSlotsEdgesAndAccesses) {
+  Engine eng({.num_workers = 2});
+  const Handle a = eng.register_data("a");
+  const Handle b = eng.register_data("b");
+  ASSERT_TRUE(eng.begin_capture());
+  EXPECT_TRUE(eng.capturing());
+  eng.submit([] {}, {rt::readwrite(a)}, 0, "w0");
+  eng.submit([] {}, {rt::read(a), rt::readwrite(b)}, 0, "w1");
+  eng.submit([] {}, {rt::read(b)}, 0, "r2");
+  eng.wait_all();
+  auto g = eng.end_capture();
+  ASSERT_NE(g, nullptr);
+  EXPECT_FALSE(eng.capturing());
+  EXPECT_EQ(g->count, 3);
+  EXPECT_EQ(g->num_edges(), 2);  // 0 -> 1 -> 2
+  EXPECT_EQ(g->pending0[0], 0);
+  EXPECT_EQ(g->pending0[1], 1);
+  EXPECT_EQ(g->pending0[2], 1);
+  EXPECT_EQ(g->label[0], "w0");
+  // Collapsed accesses: slot 1 reads a, writes b.
+  EXPECT_EQ(g->acc_off[2] - g->acc_off[1], 2);
+  EXPECT_EQ(g->max_handle, b.id);
+}
+
+TEST(GraphCapture, ReplayRunsBoundClosuresThroughTheCapturedDag) {
+  // Chain through one cell: only the captured 0 -> 1 -> 2 order produces
+  // ((1*2)+3)*5 = 25. Replay twice, on 1 and on 4 workers.
+  for (const int workers : {1, 4}) {
+    Engine eng({.num_workers = workers});
+    const Handle h = eng.register_data();
+    std::atomic<int> cell{0};
+    ASSERT_TRUE(eng.begin_capture());
+    eng.submit([&cell] { cell = 2; }, {rt::readwrite(h)});
+    eng.submit([&cell] { cell += 3; }, {rt::readwrite(h)});
+    eng.submit([&cell] { cell = cell * 5; }, {rt::readwrite(h)});
+    eng.wait_all();
+    auto g = eng.end_capture();
+    ASSERT_NE(g, nullptr);
+    EXPECT_EQ(cell.load(), 25);
+    for (int rep = 0; rep < 2; ++rep) {
+      cell = 0;
+      eng.begin_replay(g);
+      EXPECT_TRUE(eng.replaying());
+      eng.submit([&cell] { cell = 2; }, {});
+      eng.submit([&cell] { cell += 3; }, {});
+      eng.submit([&cell] { cell = cell * 5; }, {});
+      eng.wait_all();
+      EXPECT_EQ(cell.load(), 25) << "workers=" << workers << " rep=" << rep;
+      EXPECT_FALSE(eng.replaying());
+    }
+    EXPECT_EQ(eng.replay_stats().captured, 1u);
+    EXPECT_EQ(eng.replay_stats().replayed, 2u);
+  }
+}
+
+TEST(GraphCapture, ReplayIgnoresRegisterDataAndKeepsHistoryUntouched) {
+  Engine eng({.num_workers = 2});
+  const Handle h = eng.register_data();
+  ASSERT_TRUE(eng.begin_capture());
+  eng.submit([] {}, {rt::readwrite(h)});
+  eng.wait_all();
+  auto g = eng.end_capture();
+  ASSERT_NE(g, nullptr);
+  const index_t tasks_before = eng.num_tasks();
+  eng.begin_replay(g);
+  // Per-epoch scratch registration (RHS panels) must not grow the handle
+  // table during replay.
+  const Handle scratch = eng.register_data("scratch");
+  EXPECT_EQ(scratch.id, -1);
+  eng.submit([] {}, {});
+  eng.wait_all();
+  EXPECT_EQ(eng.num_tasks(), tasks_before);  // replay leaves no task record
+}
+
+TEST(GraphCapture, CaptureRefusedWhenArmedOrUndrained) {
+  Engine eng({.num_workers = 1});
+  ASSERT_TRUE(eng.begin_capture());
+  EXPECT_FALSE(eng.begin_capture());  // already armed
+  eng.submit([] {}, {});
+  eng.wait_all();
+  auto g = eng.end_capture();
+  ASSERT_NE(g, nullptr);
+  // end_capture with nothing armed: null, no crash.
+  EXPECT_EQ(eng.end_capture(), nullptr);
+}
+
+TEST(GraphCapture, SlotCountMismatchIsAnErrorAndEngineStaysUsable) {
+  Engine eng({.num_workers = 2});
+  const Handle h = eng.register_data();
+  ASSERT_TRUE(eng.begin_capture());
+  eng.submit([] {}, {rt::readwrite(h)});
+  eng.submit([] {}, {rt::readwrite(h)});
+  eng.wait_all();
+  auto g = eng.end_capture();
+  ASSERT_NE(g, nullptr);
+
+  // Too few closures by wait_all time.
+  eng.begin_replay(g);
+  eng.submit([] {}, {});
+  EXPECT_THROW(eng.wait_all(), Error);
+
+  // Too many: the over-submission itself throws.
+  eng.begin_replay(g);
+  eng.submit([] {}, {});
+  eng.submit([] {}, {});
+  EXPECT_THROW(eng.submit([] {}, {}), Error);
+  eng.wait_all();  // runs the two bound closures
+
+  // The engine is live again: a normal epoch works.
+  std::atomic<int> ran{0};
+  eng.submit([&ran] { ++ran; }, {rt::readwrite(h)});
+  eng.wait_all();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(GraphCapture, CapturedEpochSurvivesRetirementAndEngineDeath) {
+  // Epoch retirement frees the live tasks' closures and access lists; the
+  // CapturedGraph owns copies, so replaying after later epochs retired the
+  // captured one — or even on a different engine — must not dangle.
+  std::shared_ptr<const CapturedGraph> g;
+  std::vector<int> cells(3, 0);
+  {
+    Engine eng({.num_workers = 2});
+    std::vector<Handle> hs;
+    for (int i = 0; i < 3; ++i) hs.push_back(eng.register_data());
+    ASSERT_TRUE(eng.begin_capture());
+    for (int i = 0; i < 3; ++i)
+      eng.submit([&cells, i] { cells[static_cast<std::size_t>(i)] += 1; },
+                 {rt::readwrite(hs[static_cast<std::size_t>(i)])});
+    eng.wait_all();
+    g = eng.end_capture();
+    ASSERT_NE(g, nullptr);
+    // Two more live epochs retire the captured one.
+    for (int e = 0; e < 2; ++e) {
+      eng.submit([] {}, {rt::readwrite(hs[0])});
+      eng.wait_all();
+    }
+    eng.begin_replay(g);
+    for (int i = 0; i < 3; ++i)
+      eng.submit([&cells, i] { cells[static_cast<std::size_t>(i)] += 10; },
+                 {});
+    eng.wait_all();
+  }  // engine destroyed; g must stand alone
+  // Cross-engine replay, with the conflict checker exercising the captured
+  // access lists against an engine that never registered these handles.
+  Engine other({.num_workers = 2, .check_conflicts = true});
+  other.begin_replay(g);
+  for (int i = 0; i < 3; ++i)
+    other.submit([&cells, i] { cells[static_cast<std::size_t>(i)] += 100; },
+                 {});
+  other.wait_all();
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(cells[static_cast<std::size_t>(i)], 111);
+}
+
+// --- offline passes --------------------------------------------------------
+
+TEST(GraphCapture, CriticalPathPrioritiesFavorTheLongChain) {
+  // A(20ms) -> B(20ms) vs C(1ms): cp(A) ~ 40ms dominates, so A must get
+  // the top dense rank and C the bottom one.
+  Engine eng({.num_workers = 1});
+  const Handle h = eng.register_data();
+  const Handle k = eng.register_data();
+  ASSERT_TRUE(eng.begin_capture());
+  auto sleep_ms = [](int ms) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+  };
+  eng.submit([sleep_ms] { sleep_ms(20); }, {rt::readwrite(h)}, 0, "A");
+  eng.submit([sleep_ms] { sleep_ms(20); }, {rt::readwrite(h)}, 0, "B");
+  eng.submit([sleep_ms] { sleep_ms(1); }, {rt::readwrite(k)}, 0, "C");
+  eng.wait_all();
+  auto g = eng.end_capture();
+  ASSERT_NE(g, nullptr);
+  EXPECT_GT(g->priority[0], g->priority[1]);  // head outranks its tail
+  EXPECT_GT(g->priority[1], g->priority[2]);  // any chain member beats C
+  EXPECT_GT(g->duration_s[0], g->duration_s[2]);
+}
+
+TEST(GraphCapture, LinearChainsFuseAndDiamondsDoNot) {
+  Engine eng({.num_workers = 1});
+  const Handle h = eng.register_data();
+  ASSERT_TRUE(eng.begin_capture());
+  for (int i = 0; i < 3; ++i) eng.submit([] {}, {rt::readwrite(h)});
+  eng.wait_all();
+  auto chain = eng.end_capture();
+  ASSERT_NE(chain, nullptr);
+  EXPECT_EQ(chain->fused_pairs, 2);  // 0 -> 1 -> 2 fully fused
+  EXPECT_EQ(chain->fused_next[0], 1);
+  EXPECT_EQ(chain->fused_next[1], 2);
+  EXPECT_TRUE(chain->is_fused_tail[1]);
+  EXPECT_FALSE(chain->is_fused_tail[0]);
+
+  // Diamond a -> {b, c} -> d: d has in-degree 2 so it cannot fuse; a fuses
+  // exactly one of b/c.
+  const Handle p = eng.register_data();
+  const Handle q = eng.register_data();
+  ASSERT_TRUE(eng.begin_capture());
+  eng.submit([] {}, {rt::readwrite(p), rt::readwrite(q)});  // a
+  eng.submit([] {}, {rt::readwrite(p)});                    // b
+  eng.submit([] {}, {rt::readwrite(q)});                    // c
+  eng.submit([] {}, {rt::read(p), rt::read(q)});            // d
+  eng.wait_all();
+  auto diamond = eng.end_capture();
+  ASSERT_NE(diamond, nullptr);
+  EXPECT_EQ(diamond->pending0[3], 2);
+  EXPECT_EQ(diamond->fused_pairs, 1);
+  EXPECT_EQ(diamond->fused_next[3], -1);
+  EXPECT_FALSE(diamond->is_fused_tail[3]);
+}
+
+// --- cache bounds and invalidation -----------------------------------------
+
+std::shared_ptr<const CapturedGraph> tiny_graph(Engine& eng, Handle h) {
+  EXPECT_TRUE(eng.begin_capture());
+  eng.submit([] {}, {rt::readwrite(h)});
+  eng.wait_all();
+  return eng.end_capture();
+}
+
+TEST(GraphCacheLru, EvictionBoundHoldsAndStaleKeysMiss) {
+  Engine eng({.num_workers = 1});
+  const Handle h = eng.register_data();
+  GraphCache cache(2);
+  for (std::uint64_t key : {1u, 2u, 3u})
+    cache.insert(key, tiny_graph(eng, h));
+  EXPECT_EQ(cache.size(), 2);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.lookup(1), nullptr);  // oldest evicted
+  EXPECT_NE(cache.lookup(2), nullptr);
+  EXPECT_NE(cache.lookup(3), nullptr);
+  // LRU order: touching 2 makes 3 the eviction victim.
+  cache.lookup(2);
+  cache.insert(4, tiny_graph(eng, h));
+  EXPECT_NE(cache.lookup(2), nullptr);
+  EXPECT_EQ(cache.lookup(3), nullptr);
+}
+
+TEST(GraphCacheLru, CapacityZeroStoresNothing) {
+  Engine eng({.num_workers = 1});
+  const Handle h = eng.register_data();
+  GraphCache cache(0);
+  cache.insert(7, tiny_graph(eng, h));
+  EXPECT_EQ(cache.size(), 0);
+  EXPECT_EQ(cache.lookup(7), nullptr);
+}
+
+TEST(GraphCacheLru, CapacityComesFromTheEnvironmentKnob) {
+  ScopedEnv cap("HCHAM_GRAPH_CACHE_MAX", "1");
+  GraphCache cache(-1);
+  EXPECT_EQ(cache.capacity(), 1);
+  Engine eng({.num_workers = 1});
+  const Handle h = eng.register_data();
+  cache.insert(1, tiny_graph(eng, h));
+  cache.insert(2, tiny_graph(eng, h));
+  EXPECT_EQ(cache.size(), 1);
+  EXPECT_EQ(cache.lookup(1), nullptr);
+  EXPECT_NE(cache.lookup(2), nullptr);
+}
+
+TEST(GraphCacheLru, ReplayDisableForcesLiveExecution) {
+  ScopedEnv off("HCHAM_REPLAY_DISABLE", "1");
+  Engine eng({.num_workers = 1});
+  const Handle h = eng.register_data();
+  GraphCache cache(8);
+  for (int i = 0; i < 2; ++i)
+    rt::run_epoch_cached(eng, &cache, 42,
+                         [&] { eng.submit([] {}, {rt::readwrite(h)}); });
+  EXPECT_EQ(cache.size(), 0);
+  EXPECT_EQ(eng.replay_stats().captured, 0u);
+  EXPECT_EQ(eng.replay_stats().replayed, 0u);
+}
+
+bem::FemBemProblem<double>& shared_problem() {
+  static bem::FemBemProblem<double> problem(160);
+  return problem;
+}
+
+core::TileHMatrix<double> build_tileh(Engine& eng,
+                                      const core::TileHOptions& opts) {
+  auto& problem = shared_problem();
+  auto gen = [&problem](index_t i, index_t j) { return problem.entry(i, j); };
+  return core::TileHMatrix<double>::build(eng, problem.points(), gen, opts);
+}
+
+TEST(GraphCacheKeys, StructuralChangesChangeTheSignature) {
+  Engine eng({.num_workers = 1});
+  core::TileHOptions base;
+  base.tile_size = 64;
+  base.clustering.leaf_size = 32;
+  const auto m = build_tileh(eng, base);
+  const std::uint64_t sig = m.structure_signature();
+
+  // Same options build: identical signature (the cache-hit contract).
+  EXPECT_EQ(build_tileh(eng, base).structure_signature(), sig);
+
+  // Different tile grid: different nt, must miss.
+  core::TileHOptions coarse = base;
+  coarse.tile_size = 96;
+  EXPECT_NE(build_tileh(eng, coarse).structure_signature(), sig);
+
+  // Different admissibility: same points, different block structure.
+  core::TileHOptions weak = base;
+  weak.hmatrix.admissibility.eta = 0.5;
+  EXPECT_NE(build_tileh(eng, weak).structure_signature(), sig);
+}
+
+TEST(GraphCacheKeys, SolveKeyDependsOnColumnCount) {
+  // A cached 1-column solve graph must not be replayed for a 2-column
+  // panel: both widths solve live-then-capture, giving two cache entries.
+  Engine eng({.num_workers = 2});
+  core::TileHOptions opts;
+  opts.tile_size = 64;
+  opts.clustering.leaf_size = 32;
+  auto a = build_tileh(eng, opts);
+  a.factorize(eng);
+  GraphCache cache(8);
+  for (const index_t nrhs : {1, 2, 1, 2}) {
+    la::Matrix<double> b(a.size(), nrhs);
+    for (index_t j = 0; j < nrhs; ++j)
+      for (index_t i = 0; i < a.size(); ++i) b(i, j) = 1.0;
+    a.solve(eng, b.view(), /*panel_width=*/0, &cache);
+  }
+  EXPECT_EQ(cache.size(), 2);
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(cache.hits(), 2u);
+}
+
+// --- capture vs accumulator flush / factorization epochs -------------------
+
+TEST(GraphCacheKeys, FactorizationReplayAfterSourceMatrixDied) {
+  // The captured factorization graph must hold no references into the
+  // matrix it was captured from: destroy it, build a fresh identical one,
+  // and replay (the closures re-bind to the new tiles, including the lazy
+  // accumulator flushes inside the kernels).
+  Engine eng({.num_workers = 2});
+  core::TileHOptions opts;
+  opts.tile_size = 64;
+  opts.clustering.leaf_size = 32;
+  GraphCache cache(4);
+  la::Matrix<double> want;
+  {
+    auto doomed = build_tileh(eng, opts);
+    doomed.factorize(eng, &cache);  // capture
+    want = doomed.to_dense_original();
+  }
+  auto fresh = build_tileh(eng, opts);
+  fresh.factorize(eng, &cache);  // replay against the new tiles
+  EXPECT_EQ(eng.replay_stats().replayed, 1u);
+  const la::Matrix<double> got = fresh.to_dense_original();
+  for (index_t j = 0; j < got.cols(); ++j)
+    for (index_t i = 0; i < got.rows(); ++i)
+      ASSERT_EQ(got(i, j), want(i, j)) << "(" << i << "," << j << ")";
+}
+
+// --- serve-layer stats -----------------------------------------------------
+
+TEST(ServeGraphStats, SessionSolvesThroughTheCacheAndStatsReport) {
+  auto& problem = shared_problem();
+  auto gen = [&problem](index_t i, index_t j) { return problem.entry(i, j); };
+  core::TileHOptions hopts;
+  hopts.tile_size = 64;
+  hopts.clustering.leaf_size = 32;
+  serve::SessionOptions sopts;
+  sopts.workers = 2;
+  GraphCache cache(8);
+  sopts.graph_cache = &cache;  // test-local cache, not the global one
+  auto session = serve::Session<double>::build(problem.points(), gen, hopts,
+                                               sopts);
+  serve::SolverService<double> service(session);
+  for (int i = 0; i < 3; ++i) {
+    la::Matrix<double> rhs(session.size(), 1);
+    for (index_t r = 0; r < session.size(); ++r) rhs(r, 0) = 1.0;
+    auto reply = service.submit(std::move(rhs)).get();
+    ASSERT_TRUE(reply.ok()) << reply.error;
+  }
+  service.stop();
+  const serve::StatsSnapshot s = service.stats();
+  EXPECT_EQ(s.completed, 3u);
+  // Factorization + first solve captured; later identical solves replayed.
+  EXPECT_GE(s.graph_captured, 1u);
+  EXPECT_GE(s.graph_replayed, 1u);
+  EXPECT_NE(service.stats_json().find("\"graph\""), std::string::npos);
+}
+
+TEST(ServeGraphStats, DisablingTheCacheKeepsEverythingLive) {
+  auto& problem = shared_problem();
+  auto gen = [&problem](index_t i, index_t j) { return problem.entry(i, j); };
+  core::TileHOptions hopts;
+  hopts.tile_size = 64;
+  hopts.clustering.leaf_size = 32;
+  serve::SessionOptions sopts;
+  sopts.workers = 2;
+  sopts.use_graph_cache = false;
+  auto session = serve::Session<double>::build(problem.points(), gen, hopts,
+                                               sopts);
+  la::Matrix<double> b(session.size(), 1);
+  for (index_t r = 0; r < session.size(); ++r) b(r, 0) = 1.0;
+  session.solve_now(b.view());
+  session.solve_now(b.view());
+  EXPECT_EQ(session.engine().replay_stats().captured, 0u);
+  EXPECT_EQ(session.engine().replay_stats().replayed, 0u);
+}
+
+}  // namespace
+}  // namespace hcham
