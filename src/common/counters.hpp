@@ -91,6 +91,13 @@ struct RuntimeCounters {
   std::atomic<std::uint64_t> graph_fused_pairs{0};  ///< chain-fusion output
   std::atomic<std::uint64_t> submit_live_ns{0};    ///< STF inference phases
   std::atomic<std::uint64_t> submit_replay_ns{0};  ///< closure re-bind phases
+  // Nested sub-epochs (DESIGN.md section 11): parallel-mode openings, epochs
+  // the gate kept inline, nested tasks executed, and how many of those ran
+  // on a worker other than the sub-epoch's owner.
+  std::atomic<std::uint64_t> nested_epochs{0};        ///< parallel mode
+  std::atomic<std::uint64_t> nested_inline{0};        ///< gate kept inline
+  std::atomic<std::uint64_t> nested_tasks{0};
+  std::atomic<std::uint64_t> nested_steals{0};
 };
 
 inline RuntimeCounters& runtime_counters() {
@@ -107,6 +114,10 @@ struct RuntimeCounterSnapshot {
   std::uint64_t graph_fused_pairs = 0;
   std::uint64_t submit_live_ns = 0;
   std::uint64_t submit_replay_ns = 0;
+  std::uint64_t nested_epochs = 0;
+  std::uint64_t nested_inline = 0;
+  std::uint64_t nested_tasks = 0;
+  std::uint64_t nested_steals = 0;
 };
 
 inline RuntimeCounterSnapshot snapshot_runtime_counters() {
@@ -122,6 +133,10 @@ inline RuntimeCounterSnapshot snapshot_runtime_counters() {
   s.graph_fused_pairs = c.graph_fused_pairs.load(std::memory_order_relaxed);
   s.submit_live_ns = c.submit_live_ns.load(std::memory_order_relaxed);
   s.submit_replay_ns = c.submit_replay_ns.load(std::memory_order_relaxed);
+  s.nested_epochs = c.nested_epochs.load(std::memory_order_relaxed);
+  s.nested_inline = c.nested_inline.load(std::memory_order_relaxed);
+  s.nested_tasks = c.nested_tasks.load(std::memory_order_relaxed);
+  s.nested_steals = c.nested_steals.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -135,6 +150,10 @@ inline void reset_runtime_counters() {
   c.graph_fused_pairs.store(0, std::memory_order_relaxed);
   c.submit_live_ns.store(0, std::memory_order_relaxed);
   c.submit_replay_ns.store(0, std::memory_order_relaxed);
+  c.nested_epochs.store(0, std::memory_order_relaxed);
+  c.nested_inline.store(0, std::memory_order_relaxed);
+  c.nested_tasks.store(0, std::memory_order_relaxed);
+  c.nested_steals.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace hcham

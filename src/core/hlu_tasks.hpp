@@ -18,6 +18,8 @@
 #include <vector>
 
 #include "common/hash.hpp"
+#include "hmatrix/adjoint.hpp"
+#include "hmatrix/hchol.hpp"
 #include "hmatrix/hgemm.hpp"
 #include "hmatrix/hlu.hpp"
 #include "hmatrix/htrsm.hpp"
@@ -25,16 +27,47 @@
 
 namespace hcham::core {
 
-template <typename T>
+/// `Sink` is anything with Engine's register_data/submit pair: the engine
+/// itself (fine-grain HMAT baseline) or an rt::NestedEpoch, which lets a
+/// running Tile-H kernel re-use this exact decomposition as its nested
+/// subgraph (DESIGN.md section 11) — same recursion, same access lists,
+/// so nested execution inherits the bit-determinism argument wholesale.
+template <typename T, typename Sink = rt::Engine>
 class HluTaskGraph {
  public:
-  HluTaskGraph(rt::Engine& engine, hmat::HMatrix<T>& a,
-               rk::TruncationParams tp)
+  HluTaskGraph(Sink& engine, hmat::HMatrix<T>& a, rk::TruncationParams tp)
       : engine_(engine), a_(a), tp_(tp) {}
 
   /// Submit the whole fine-grain factorization DAG. Call
   /// engine.wait_all() to execute it.
   void submit() { task_lu(a_); }
+
+  /// Submit the fine-grain lower-Cholesky DAG (the hchol recursion split
+  /// per leaf, for Hermitian positive-definite H-matrices).
+  void submit_cholesky() { task_chol(a_); }
+
+  // Sub-operation entry points, for nested tile kernels that decompose one
+  // TRSM/GEMM tile task (whose operands are other tiles' H-matrices, not
+  // subblocks of `a`): the expansions work on any nodes — handles are
+  // created per node on demand.
+  using NodeRef = hmat::HMatrix<T>;
+  void submit_trsm_lower(const NodeRef& l, NodeRef& b) {
+    task_trsm_lower(l, b);
+  }
+  void submit_trsm_upper(const NodeRef& u, NodeRef& b) {
+    task_trsm_upper(u, b);
+  }
+  void submit_trsm_lower_right_adjoint(const NodeRef& l, NodeRef& b) {
+    task_trsm_lra(l, b);
+  }
+  /// C <- C - A B.
+  void submit_gemm(const NodeRef& a, const NodeRef& b, NodeRef& c) {
+    task_gemm(a, b, c);
+  }
+  /// C <- C - A B^H.
+  void submit_gemm_adjoint_b(const NodeRef& a, const NodeRef& b, NodeRef& c) {
+    task_gemm_adjb(a, b, c);
+  }
 
  private:
   using Node = hmat::HMatrix<T>;
@@ -155,7 +188,78 @@ class HluTaskGraph {
         std::move(acc), 1, "gemm");
   }
 
-  rt::Engine& engine_;
+  // --- Cholesky expansion (mirrors hmatrix/hchol.hpp) ----------------------
+
+  void task_chol(Node& a) {
+    if (a.is_leaf()) {
+      const rk::TruncationParams tp = tp_;
+      Node* node = &a;
+      engine_.submit(
+          [node, tp] {
+            const int info = hmat::hchol(*node, tp);
+            HCHAM_CHECK_MSG(info == 0,
+                            "non-positive-definite pivot in task H-Cholesky");
+          },
+          {rt::readwrite(leaf_handle(a))}, 3, "potrf");
+      return;
+    }
+    task_chol(a.child(0, 0));
+    task_trsm_lra(a.child(0, 0), a.child(1, 0));
+    task_gemm_adjb(a.child(1, 0), a.child(1, 0), a.child(1, 1));
+    task_chol(a.child(1, 1));
+  }
+
+  /// B <- B L^-H with L lower (the Cholesky panel solve).
+  void task_trsm_lra(const Node& l, Node& b) {
+    if (b.is_leaf()) {
+      std::vector<rt::Access> acc;
+      append_reads(acc, leaves_of(l));
+      acc.push_back(rt::readwrite(leaf_handle(b)));
+      const rk::TruncationParams tp = tp_;
+      const Node* lp = &l;
+      Node* bp = &b;
+      engine_.submit(
+          [lp, bp, tp] { hmat::htrsm_lower_right_adjoint(*lp, *bp, tp); },
+          std::move(acc), 2, "trsm");
+      return;
+    }
+    for (int i = 0; i < 2; ++i) {
+      task_trsm_lra(l.child(0, 0), b.child(i, 0));
+      task_gemm_adjb(b.child(i, 0), l.child(1, 0), b.child(i, 1));
+      task_trsm_lra(l.child(1, 1), b.child(i, 1));
+    }
+  }
+
+  /// C <- C - A B^H. The adjoint is materialized at execution time, so the
+  /// task reads B's leaves directly; adjoint_of is an exact (truncation-
+  /// free) deep copy whose children mirror B's, which keeps the structural
+  /// recursion and the leaf values identical to the sequential hchol's
+  /// whole-panel adjoint.
+  void task_gemm_adjb(const Node& a, const Node& b, Node& c) {
+    if (!c.is_leaf() && !a.is_leaf() && !b.is_leaf()) {
+      for (int i = 0; i < 2; ++i)
+        for (int j = 0; j < 2; ++j)
+          for (int k = 0; k < 2; ++k)
+            task_gemm_adjb(a.child(i, k), b.child(j, k), c.child(i, j));
+      return;
+    }
+    std::vector<rt::Access> acc;
+    append_reads(acc, leaves_of(a));
+    append_reads(acc, leaves_of(b));
+    for (const rt::Handle h : leaves_of(c)) acc.push_back(rt::readwrite(h));
+    const rk::TruncationParams tp = tp_;
+    const Node* ap = &a;
+    const Node* bp = &b;
+    Node* cp = &c;
+    engine_.submit(
+        [ap, bp, cp, tp] {
+          const hmat::HMatrix<T> bh = hmat::adjoint_of(*bp);
+          hmat::hgemm_deferred(T{-1}, *ap, bh, *cp, tp);
+        },
+        std::move(acc), 1, "gemm");
+  }
+
+  Sink& engine_;
   Node& a_;
   rk::TruncationParams tp_;
   std::unordered_map<const Node*, rt::Handle> leaf_handles_;
@@ -168,6 +272,16 @@ void task_hlu(rt::Engine& engine, hmat::HMatrix<T>& a,
               const rk::TruncationParams& tp) {
   HluTaskGraph<T> graph(engine, a, tp);
   graph.submit();
+  engine.wait_all();
+}
+
+/// Convenience: Cholesky-factorize a pure HPD H-matrix with the fine-grain
+/// task DAG.
+template <typename T>
+void task_hchol(rt::Engine& engine, hmat::HMatrix<T>& a,
+                const rk::TruncationParams& tp) {
+  HluTaskGraph<T> graph(engine, a, tp);
+  graph.submit_cholesky();
   engine.wait_all();
 }
 

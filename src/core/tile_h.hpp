@@ -18,6 +18,7 @@
 
 #include "common/hash.hpp"
 #include "cluster/cluster_tree.hpp"
+#include "core/nested.hpp"
 #include "hmatrix/build.hpp"
 #include "runtime/engine.hpp"
 #include "tile/algorithms.hpp"
@@ -146,9 +147,14 @@ class TileHMatrix {
   }
 
   /// Submit the tiled H-LU task graph (paper Algorithm 1 with H-kernels).
-  /// Call engine.wait_all() to execute; or use factorize().
+  /// Call engine.wait_all() to execute; or use factorize(). Tile kernels
+  /// go through the nested-epoch set (core/nested.hpp): large H-tile
+  /// kernels re-split into per-leaf sub-epochs when the gate opens, and
+  /// degrade to the plain sequential kernels otherwise
+  /// (HCHAM_NESTED_DISABLE=1 forces the latter everywhere).
   void factorize_submit(rt::Engine& engine) {
-    tile::tiled_getrf(engine, *desc_, opts_.truncation());
+    tile::tiled_getrf(engine, *desc_, opts_.truncation(),
+                      NestedTileKernels<T>{&engine});
   }
 
   /// Factorize; with a cache the epoch is captured on first sight of this
@@ -162,7 +168,8 @@ class TileHMatrix {
   /// Submit the tiled H-Cholesky task graph (A = L L^H; valid for the
   /// Hermitian positive-definite case, e.g. the real 1/d kernel).
   void factorize_cholesky_submit(rt::Engine& engine) {
-    tile::tiled_potrf(engine, *desc_, opts_.truncation());
+    tile::tiled_potrf(engine, *desc_, opts_.truncation(),
+                      NestedTileKernels<T>{&engine});
   }
 
   void factorize_cholesky(rt::Engine& engine,

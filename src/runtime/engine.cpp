@@ -12,6 +12,7 @@
 #include <thread>
 
 #include "common/counters.hpp"
+#include "common/env.hpp"
 #include "common/rng.hpp"
 #include "common/timer.hpp"
 #include "la/workspace.hpp"
@@ -76,7 +77,51 @@ inline void cpu_pause() {
 #endif
 }
 
+// Worker context of the calling thread: which engine's pool it belongs to
+// (compared by Impl address, stored untyped so the anonymous namespace need
+// not name the private Impl), its worker id, and whether it is currently
+// inside a nested task (nesting-inside-nesting stays inline). Set only by
+// the lock-light and replay pool threads.
+thread_local const void* tls_worker_pool = nullptr;
+thread_local int tls_worker_id = -1;
+thread_local bool tls_in_nested_task = false;
+
 }  // namespace
+
+// Deferred-mode state of one NestedEpoch (DESIGN.md section 11). Built
+// single-threaded by the owner during submit(); after wait() publishes the
+// epoch in the engine's registry, `ready` and the per-task pending counters
+// are touched only under Engine::Impl::nested_mu (ready) or atomically
+// (pending), and `remaining` is each executor's last touch of the epoch so
+// the owner can destroy it the moment the count reaches zero.
+struct NestedEpochImpl {
+  struct NestedTask {
+    std::function<void()> fn;
+    std::string label;
+    int priority = 0;
+    std::vector<TaskId> successors;
+    std::atomic<index_t> pending{0};
+    TaskId last_edge_to = -1;  ///< dedupe mark, as in Engine's add_edge
+  };
+  struct NestedHandle {
+    TaskId last_writer = -1;
+    std::vector<TaskId> readers_since_write;
+  };
+
+  Engine::Impl* eng = nullptr;
+  bool is_parallel = false;
+  bool sealed = false;
+  int owner_worker = -1;
+  std::deque<NestedTask> tasks;  // deque: stable refs, atomics never move
+  std::vector<NestedHandle> handles;
+  index_t edges = 0;
+  index_t inline_tasks = 0;   ///< inline mode's task count (tasks stays empty)
+  std::deque<TaskId> ready;   ///< guarded by eng->nested_mu
+  std::atomic<index_t> remaining{0};
+  std::atomic<index_t> stolen{0};
+  std::mutex err_mu;  ///< parallel mode: guards first_error
+  std::exception_ptr first_error;
+};
 
 struct Engine::Impl {
   Options opts;
@@ -135,6 +180,23 @@ struct Engine::Impl {
   std::atomic<index_t> remaining_ll{0};
   std::atomic<std::uint64_t> parked_mask{0};  // bit w set = worker w parked
   std::mutex err_mu;                          // guards first_error (cold)
+
+  // --- nested sub-epoch state (DESIGN.md section 11) ---------------------
+  //
+  // Sub-epochs in their wait() phase register here so idle pool workers can
+  // steal their tasks. nested_ready_total mirrors the summed ready-queue
+  // occupancy (same role as the lock-light occupancy mirrors: parking
+  // double-checks and steal attempts never take nested_mu when it is zero);
+  // publish (under nested_mu, then fetch_add) precedes the targeted
+  // ll_wake, pairing with ll_park's announce-then-recheck. nested_live
+  // counts constructed-but-undestroyed NestedEpoch objects — capture/replay
+  // arming rejects while any are live, since a sub-epoch spanning parent
+  // epochs would corrupt the captured closure-slot order.
+  std::mutex nested_mu;  // guards nested_epochs and every epoch's `ready`
+  std::vector<NestedEpochImpl*> nested_epochs;
+  std::atomic<index_t> nested_ready_total{0};
+  std::atomic<index_t> nested_live{0};
+  std::atomic<index_t> nested_edge_counter{0};  // nested fault injection
 
   std::chrono::steady_clock::time_point epoch_start;
 
@@ -695,7 +757,8 @@ struct Engine::Impl {
     auto& me = *ll_workers[static_cast<std::size_t>(w)];
     const std::uint64_t bit = std::uint64_t{1} << w;
     parked_mask.fetch_or(bit);
-    if (remaining_ll.load() == 0 || ll_has_ready()) {
+    if (remaining_ll.load() == 0 || ll_has_ready() ||
+        nested_ready_total.load() != 0) {
       parked_mask.fetch_and(~bit);
       return;
     }
@@ -705,10 +768,104 @@ struct Engine::Impl {
       // Second check under park_mu: a wake that raced ahead of us has
       // already bumped the epoch (publish precedes bump), so its work is
       // visible here and we must not sleep waiting for a second wake.
-      if (remaining_ll.load() != 0 && !ll_has_ready())
+      if (remaining_ll.load() != 0 && !ll_has_ready() &&
+          nested_ready_total.load() == 0)
         me.park_cv.wait(lk, [&] { return me.wake_epoch != seen; });
     }
     parked_mask.fetch_and(~bit);
+  }
+
+  // --- nested sub-epoch execution (DESIGN.md section 11) -----------------
+
+  /// Count of ready (queued, unclaimed) tasks across the lock-light
+  /// mirrors; feeds the nesting gate's occupancy heuristic.
+  index_t ll_ready_count() const {
+    if (opts.policy == SchedulerPolicy::Priority) return prio_size.load();
+    index_t n = 0;
+    for (const auto& w : ll_workers) n += w->size.load();
+    return n;
+  }
+
+  /// Occupancy side of the nesting gate: splitting a tile task only pays
+  /// when some worker could actually pick up the pieces — a parked worker,
+  /// or fewer queued parent tasks than workers (so at least one worker is
+  /// spinning idle or soon will be; "+1" counts the caller's own task as
+  /// occupying the caller).
+  bool nested_workers_available() const {
+    return parked_mask.load() != 0 ||
+           ll_ready_count() + 1 < static_cast<index_t>(opts.num_workers);
+  }
+
+  /// Pop one ready task of `ne` (the owner's help loop).
+  TaskId nested_pop(NestedEpochImpl& ne) {
+    std::lock_guard<std::mutex> lk(nested_mu);
+    if (ne.ready.empty()) return -1;
+    const TaskId id = ne.ready.front();
+    ne.ready.pop_front();
+    nested_ready_total.fetch_sub(1);
+    return id;
+  }
+
+  /// Run nested task `id` of `ne` on `worker`, release its successors, and
+  /// retire it. The decrement of ne.remaining is the executor's LAST touch
+  /// of the epoch: once it reaches zero the owner may unregister and
+  /// destroy `ne`, so nothing here may read it afterwards.
+  void nested_execute(NestedEpochImpl& ne, TaskId id, int worker) {
+    NestedEpochImpl::NestedTask& t = ne.tasks[static_cast<std::size_t>(id)];
+    const bool was_nested = tls_in_nested_task;
+    tls_in_nested_task = true;  // nested-inside-nested stays inline
+    std::exception_ptr error;
+    try {
+      t.fn();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    tls_in_nested_task = was_nested;
+    if (error) {
+      std::lock_guard<std::mutex> lk(ne.err_mu);
+      if (!ne.first_error) ne.first_error = error;
+    }
+    index_t released = 0;
+    {
+      std::lock_guard<std::mutex> lk(nested_mu);
+      for (const TaskId succ : t.successors)
+        if (ne.tasks[static_cast<std::size_t>(succ)].pending.fetch_sub(1) ==
+            1) {
+          ne.ready.push_back(succ);
+          ++released;
+        }
+      if (released > 0) nested_ready_total.fetch_add(released);
+    }
+    if (released > 1) ll_wake(released - 1);  // executor takes one itself
+    runtime_counters().nested_tasks.fetch_add(1, std::memory_order_relaxed);
+    if (worker != ne.owner_worker) {
+      ne.stolen.fetch_add(1);
+      runtime_counters().nested_steals.fetch_add(1,
+                                                 std::memory_order_relaxed);
+    }
+    ne.remaining.fetch_sub(1);  // last touch — `ne` may now be destroyed
+  }
+
+  /// Idle-loop hook: steal one nested task from any registered sub-epoch.
+  /// Returns false without touching nested_mu when no nested work exists.
+  bool try_steal_nested(int w) {
+    if (nested_ready_total.load() == 0) return false;
+    NestedEpochImpl* ne = nullptr;
+    TaskId id = -1;
+    {
+      std::lock_guard<std::mutex> lk(nested_mu);
+      for (NestedEpochImpl* cand : nested_epochs) {
+        if (cand->ready.empty()) continue;
+        ne = cand;
+        id = cand->ready.front();
+        cand->ready.pop_front();
+        nested_ready_total.fetch_sub(1);
+        break;
+      }
+    }
+    if (ne == nullptr) return false;
+    nested_execute(*ne, id, w);
+    return true;
   }
 
   void ll_worker_loop(int w, const std::chrono::steady_clock::time_point t0) {
@@ -720,6 +877,12 @@ struct Engine::Impl {
     while (remaining_ll.load() != 0) {
       const TaskId id = ll_pop(w);
       if (id < 0) {
+        // Idle: prefer stealing a nested task over backing off — the
+        // sub-epoch's owner is blocked in wait() until it drains.
+        if (try_steal_nested(w)) {
+          idle_rounds = 0;
+          continue;
+        }
         ++idle_rounds;
         if (idle_rounds <= kSpinRounds) {
           for (int i = 0; i < (1 << idle_rounds); ++i) cpu_pause();
@@ -848,7 +1011,13 @@ struct Engine::Impl {
     for (int w = 0; w < P; ++w)
       pool.emplace_back([this, w, t0] {
         la::WorkspaceLease workspace_lease;
+        // Publish the worker context so tasks run here can open parallel
+        // nested sub-epochs (and thieves arrive with an arena leased).
+        tls_worker_pool = this;
+        tls_worker_id = w;
         ll_worker_loop(w, t0);
+        tls_worker_pool = nullptr;
+        tls_worker_id = -1;
       });
     for (auto& th : pool) th.join();
     merge_ll_trace();
@@ -1022,6 +1191,12 @@ struct Engine::Impl {
     while (remaining_ll.load() != 0) {
       TaskId id = ll_pop(w);
       if (id < 0) {
+        // Same nested-steal hook as the live loop: replayed tile tasks
+        // re-run the gate and may open sub-epochs of their own.
+        if (try_steal_nested(w)) {
+          idle_rounds = 0;
+          continue;
+        }
         ++idle_rounds;
         if (idle_rounds <= kSpinRounds) {
           for (int i = 0; i < (1 << idle_rounds); ++i) cpu_pause();
@@ -1114,7 +1289,11 @@ struct Engine::Impl {
     for (int w = 0; w < P; ++w)
       pool.emplace_back([this, w, t0] {
         la::WorkspaceLease workspace_lease;
+        tls_worker_pool = this;
+        tls_worker_id = w;
         replay_worker_loop(w, t0);
+        tls_worker_pool = nullptr;
+        tls_worker_id = -1;
       });
     for (auto& th : pool) th.join();
     merge_ll_trace();
@@ -1296,6 +1475,10 @@ bool Engine::begin_capture() {
   Impl& im = *impl_;
   HCHAM_CHECK_MSG(!im.executing.load(std::memory_order_acquire),
                   "begin_capture() called while wait_all() is running");
+  // A live nested sub-epoch would corrupt the captured closure-slot order:
+  // its tasks bypass submit(), so the capture could never replay them.
+  HCHAM_CHECK_MSG(im.nested_live.load() == 0,
+                  "begin_capture: engine has live nested sub-epochs");
   if (im.capture_armed || im.replay != nullptr || !im.all_drained())
     return false;
   im.capture_armed = true;
@@ -1321,6 +1504,8 @@ void Engine::begin_replay(std::shared_ptr<const CapturedGraph> graph) {
                   "begin_replay: capture/replay already armed");
   HCHAM_CHECK_MSG(im.all_drained(),
                   "begin_replay: engine has undrained live tasks");
+  HCHAM_CHECK_MSG(im.nested_live.load() == 0,
+                  "begin_replay: engine has live nested sub-epochs");
   im.replay = std::move(graph);
   im.replay_fns.assign(static_cast<std::size_t>(im.replay->count), nullptr);
   im.replay_next = 0;
@@ -1338,6 +1523,15 @@ Engine::ReplayStats Engine::replay_stats() const {
 }
 
 double Engine::last_submit_phase_s() const { return impl_->last_submit_s; }
+
+int Engine::parked_workers() const {
+  return std::popcount(impl_->parked_mask.load());
+}
+
+bool Engine::on_worker_thread() const {
+  return tls_worker_pool == impl_.get() && tls_worker_id >= 0 &&
+         !tls_in_nested_task;
+}
 
 TaskGraph Engine::graph() const {
   TaskGraph g;
@@ -1373,6 +1567,191 @@ std::string Engine::to_dot() const {
   out << "}\n";
   return out.str();
 }
+
+// --- NestedEpoch (DESIGN.md section 11) ------------------------------------
+
+NestedEpoch::NestedEpoch(Engine& engine, double est_flops)
+    : impl_(std::make_unique<NestedEpochImpl>()) {
+  NestedEpochImpl& im = *impl_;
+  im.eng = engine.impl_.get();
+  im.eng->nested_live.fetch_add(1);
+  // The env knobs are read per construction (not cached) so tests can flip
+  // them with setenv between epochs; the gate runs once per tile task,
+  // which is far too coarse for getenv to matter.
+  if (env_long("HCHAM_NESTED_DISABLE", 0) != 0 || !engine.on_worker_thread()) {
+    runtime_counters().nested_inline.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (env_long("HCHAM_NESTED_FORCE", 0) == 0) {
+    const double min_flops = env_double("HCHAM_NESTED_MIN_FLOPS", 1.0e7);
+    if (est_flops < min_flops || !im.eng->nested_workers_available()) {
+      runtime_counters().nested_inline.fetch_add(1,
+                                                 std::memory_order_relaxed);
+      return;
+    }
+  }
+  im.is_parallel = true;
+  im.owner_worker = tls_worker_id;
+  runtime_counters().nested_epochs.fetch_add(1, std::memory_order_relaxed);
+}
+
+NestedEpoch::~NestedEpoch() {
+  try {
+    wait();
+  } catch (...) {
+    // Drain-only destructor: the error was already recorded; a caller that
+    // cares must wait() explicitly.
+  }
+  impl_->eng->nested_live.fetch_sub(1);
+}
+
+Handle NestedEpoch::register_data(std::string) {
+  NestedEpochImpl& im = *impl_;
+  HCHAM_CHECK_MSG(!im.sealed, "NestedEpoch: register_data() after wait()");
+  // Handles are sub-epoch-local; names are accepted for symmetry with
+  // Engine::register_data but nested graphs are never rendered.
+  im.handles.emplace_back();
+  return Handle{static_cast<index_t>(im.handles.size()) - 1};
+}
+
+TaskId NestedEpoch::submit(std::function<void()> fn,
+                           std::vector<Access> accesses, int priority,
+                           std::string label) {
+  NestedEpochImpl& im = *impl_;
+  HCHAM_CHECK_MSG(!im.sealed, "NestedEpoch: submit() after wait()");
+  if (!im.is_parallel) {
+    // Inline mode: submission order is a valid topological order of the
+    // graph the accesses imply, so running immediately is bit-identical to
+    // any parallel schedule. Errors are collected, not raised — the
+    // sub-epoch drains fully, exactly like parallel mode — and the first
+    // one is rethrown from wait().
+    const TaskId id = im.inline_tasks++;
+    try {
+      fn();
+    } catch (...) {
+      if (!im.first_error) im.first_error = std::current_exception();
+    }
+    return id;
+  }
+  const TaskId id = static_cast<TaskId>(im.tasks.size());
+  im.tasks.emplace_back();
+  NestedEpochImpl::NestedTask& t = im.tasks.back();
+  t.fn = std::move(fn);
+  t.label = std::move(label);
+  t.priority = priority;
+  // Same STF inference as Engine::submit, on the sub-epoch's own handle
+  // table. Submission is single-threaded (the owner), so no locks; the
+  // pending counters become shared only after wait() publishes the epoch.
+  index_t pending = 0;
+  auto add_edge = [&im, &pending, id](TaskId from) {
+    if (from == id) return;
+    NestedEpochImpl::NestedTask& src =
+        im.tasks[static_cast<std::size_t>(from)];
+    if (src.last_edge_to == id) return;  // dedupe within this submit
+    src.last_edge_to = id;
+    // Engine-wide nested fault injection: dropping an edge here leaves the
+    // successor's pending count consistent (both sides skipped), so the
+    // graph still drains — it just races, which is the point.
+    if (im.eng->nested_edge_counter.fetch_add(1) ==
+        im.eng->opts.nested_fault_drop_edge)
+      return;
+    src.successors.push_back(id);
+    ++im.edges;
+    ++pending;
+  };
+  for (const Access& a : accesses) {
+    HCHAM_CHECK_MSG(
+        a.handle.valid() &&
+            a.handle.id < static_cast<index_t>(im.handles.size()),
+        "unknown nested data handle");
+    NestedEpochImpl::NestedHandle& hs =
+        im.handles[static_cast<std::size_t>(a.handle.id)];
+    if (a.mode == AccessMode::Read) {
+      if (hs.last_writer >= 0) add_edge(hs.last_writer);
+      if (hs.readers_since_write.empty() ||
+          hs.readers_since_write.back() != id)
+        hs.readers_since_write.push_back(id);
+    } else {
+      if (hs.last_writer >= 0) add_edge(hs.last_writer);
+      for (const TaskId r : hs.readers_since_write)
+        if (r != id) add_edge(r);
+      hs.readers_since_write.clear();
+      hs.last_writer = id;
+    }
+  }
+  t.pending.store(pending, std::memory_order_relaxed);
+  return id;
+}
+
+void NestedEpoch::wait() {
+  NestedEpochImpl& im = *impl_;
+  if (!im.sealed) {
+    im.sealed = true;
+    if (im.is_parallel && !im.tasks.empty()) {
+      Engine::Impl& eng = *im.eng;
+      const auto n = static_cast<index_t>(im.tasks.size());
+      im.remaining.store(n);
+      // Publish: register the epoch and its initially-ready set under
+      // nested_mu, bump the occupancy mirror, THEN wake parked workers —
+      // pairing with ll_park's announce-then-recheck, so a parking worker
+      // either sees nested_ready_total or receives the targeted wake.
+      index_t ready0 = 0;
+      {
+        std::lock_guard<std::mutex> lk(eng.nested_mu);
+        eng.nested_epochs.push_back(&im);
+        for (TaskId i = 0; i < n; ++i)
+          if (im.tasks[static_cast<std::size_t>(i)].pending.load(
+                  std::memory_order_relaxed) == 0) {
+            im.ready.push_back(i);
+            ++ready0;
+          }
+        eng.nested_ready_total.fetch_add(ready0);
+      }
+      if (ready0 > 1) eng.ll_wake(ready0 - 1);  // owner takes one itself
+      // Owner help loop: run this epoch's ready tasks (never other
+      // epochs' — the owner must not sink into a sibling's subgraph while
+      // its own could drain); when none are ready, thieves hold the tail,
+      // so back off lightly until remaining hits zero.
+      int idle = 0;
+      constexpr int kSpin = 6;
+      while (im.remaining.load() != 0) {
+        const TaskId id = eng.nested_pop(im);
+        if (id >= 0) {
+          idle = 0;
+          eng.nested_execute(im, id, im.owner_worker);
+          continue;
+        }
+        ++idle;
+        if (idle <= kSpin) {
+          for (int i = 0; i < (1 << idle); ++i) cpu_pause();
+        } else {
+          std::this_thread::yield();
+        }
+      }
+      {
+        std::lock_guard<std::mutex> lk(eng.nested_mu);
+        eng.nested_epochs.erase(std::find(eng.nested_epochs.begin(),
+                                          eng.nested_epochs.end(), &im));
+      }
+    }
+  }
+  if (im.first_error) {
+    std::exception_ptr e = im.first_error;
+    im.first_error = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+bool NestedEpoch::parallel() const { return impl_->is_parallel; }
+
+index_t NestedEpoch::num_tasks() const {
+  return impl_->is_parallel ? static_cast<index_t>(impl_->tasks.size())
+                            : impl_->inline_tasks;
+}
+
+index_t NestedEpoch::num_edges() const { return impl_->edges; }
+
+index_t NestedEpoch::stolen() const { return impl_->stolen.load(); }
 
 TaskGraph TaskGraph::tail_from(index_t first) const {
   HCHAM_CHECK(first >= 0 && first <= num_tasks());

@@ -45,6 +45,10 @@ class Engine {
     /// dependency edge, to validate that the conflict checker fires on a
     /// known-bad graph. -1 disables.
     index_t fault_drop_edge = -1;
+    /// Fault injection for the nested-epoch layer (tests only): silently
+    /// drop the n-th dependency edge inferred across ALL nested sub-epochs
+    /// of this engine, counted in submission order. -1 disables.
+    index_t nested_fault_drop_edge = -1;
   };
 
   Engine();
@@ -140,12 +144,101 @@ class Engine {
   /// near-zero; bench/replay_overhead gates on the ratio.
   double last_submit_phase_s() const;
 
+  /// Number of pool workers currently parked (0 outside wait_all); feeds
+  /// the nested-epoch occupancy heuristic and is exposed for tests.
+  int parked_workers() const;
+
+  /// True when the calling thread is one of this engine's lock-light or
+  /// replay pool workers and is not already inside a nested task — the
+  /// precondition for a NestedEpoch to run in parallel (stealable) mode.
+  bool on_worker_thread() const;
+
   /// Graphviz rendering of the dependency DAG (paper Fig. 1).
   std::string to_dot() const;
 
  private:
+  friend class NestedEpoch;
+  friend struct NestedEpochImpl;
   struct Impl;
   std::unique_ptr<Impl> impl_;
+};
+
+struct NestedEpochImpl;
+
+// --- nested epochs (DESIGN.md section 11) ----------------------------------
+//
+// A running tile task may open a worker-owned sub-epoch and submit a
+// subgraph of finer tasks (the recursive H-LU split of core/hlu_tasks.hpp):
+//   NestedEpoch ep(engine, est_flops);
+//   auto h = ep.register_data();
+//   ep.submit([...]{...}, {rt::readwrite(h)});
+//   ep.wait();   // spawning worker helps until the sub-epoch drains
+// Dependencies are inferred from the declared accesses exactly like
+// Engine::submit (same writer-after-readers/reader-after-writer rules), so
+// the sub-epoch's execution is serialized per datum in submission order and
+// stays bit-identical to running the closures sequentially.
+//
+// Mode is decided at construction by the nesting gate:
+//  * parallel mode — the calling thread is one of `engine`'s pool workers,
+//    the estimated kernel flops reach HCHAM_NESTED_MIN_FLOPS, and idle
+//    workers are available (some parked, or fewer ready tasks than
+//    workers). Submission defers tasks; wait() seals the graph, publishes
+//    the ready set, and parked/idle pool workers steal nested tasks from
+//    their idle loop while the owner helps until the sub-epoch drains.
+//  * inline mode — everything else (main thread, sequential/fuzzed/
+//    global-lock execution, nested-inside-nested, gate closed,
+//    HCHAM_NESTED_DISABLE=1). submit() runs the closure immediately:
+//    submission order is a valid topological order of the inferred graph,
+//    so results are bit-identical to parallel mode by construction.
+// HCHAM_NESTED_FORCE=1 skips the flops/occupancy heuristic (tests); the
+// worker-context requirement always stands.
+//
+// Errors thrown by nested tasks are collected (the sub-epoch drains fully,
+// like a parent epoch) and the first one is rethrown from wait() — inside
+// the parent task's body, which propagates it to the parent epoch's
+// wait_all(). Nested tasks never pass through Engine::submit, so a capture
+// of the parent epoch records the tile task as one opaque unit and replay
+// re-runs the gate naturally; begin_capture()/begin_replay() reject with an
+// Error while any NestedEpoch of the engine is live (a sub-epoch spanning
+// epochs would corrupt the captured closure-slot order).
+class NestedEpoch {
+ public:
+  /// Bind a sub-epoch to `engine`. `est_flops` is the caller's estimate of
+  /// the work about to be submitted (dense-equivalent flops), tested
+  /// against HCHAM_NESTED_MIN_FLOPS by the gate; the default keeps the
+  /// epoch inline unless HCHAM_NESTED_FORCE=1.
+  explicit NestedEpoch(Engine& engine, double est_flops = 0.0);
+
+  /// Drains like wait() but never throws (errors are dropped); prefer an
+  /// explicit wait().
+  ~NestedEpoch();
+
+  NestedEpoch(const NestedEpoch&) = delete;
+  NestedEpoch& operator=(const NestedEpoch&) = delete;
+
+  /// Register a sub-epoch-local datum for dependency inference.
+  Handle register_data(std::string name = "");
+
+  /// Submit a nested task. Parallel mode defers it; inline mode runs it
+  /// immediately (collecting, not raising, any error). Must not be called
+  /// after wait().
+  TaskId submit(std::function<void()> fn, std::vector<Access> accesses,
+                int priority = 0, std::string label = "");
+
+  /// Seal the graph, execute it (helping alongside any stealing workers),
+  /// and rethrow the first nested-task error. Idempotent.
+  void wait();
+
+  /// True when the gate selected parallel (stealable) mode.
+  bool parallel() const;
+
+  index_t num_tasks() const;
+  index_t num_edges() const;  ///< inferred minus fault-dropped
+  /// Nested tasks executed by workers other than the owner.
+  index_t stolen() const;
+
+ private:
+  std::unique_ptr<NestedEpochImpl> impl_;
 };
 
 /// Run one epoch through a graph cache: replay on hit, capture + insert on

@@ -52,6 +52,18 @@ struct SimParams {
   /// dependency bookkeeping).
   double dispatch_serial_cost_s = 0.0;
   double distributed_dispatch_factor = 0.4;
+  /// Nested sub-epoch model (DESIGN.md section 11): a task at least this
+  /// long opens a sub-epoch, and pool workers that would otherwise idle
+  /// co-execute its inner task graph. 0 disables the model (the default,
+  /// and the HCHAM_NESTED_DISABLE behaviour).
+  double nested_min_task_s = 0.0;
+  /// Cap on helpers per split task (the inner DAG's own parallelism bound:
+  /// a 2x2 H-split exposes only a few concurrent leaves).
+  int nested_max_helpers = 3;
+  /// Fraction of each helper that converts into speedup; the rest is lost
+  /// to the inner DAG's critical path and steal overhead. The split task's
+  /// duration becomes dur / (1 + nested_efficiency * helpers).
+  double nested_efficiency = 0.6;
 };
 
 struct SimResult {
@@ -67,6 +79,10 @@ struct SimResult {
   /// could start. Previously folded into busy_s, which inflated the
   /// reported efficiency exactly when contention was worst.
   double dispatch_wait_s = 0.0;
+  /// Tasks that opened a nested sub-epoch (nested_min_task_s model) and
+  /// the helper-seconds contributed by otherwise-idle workers.
+  index_t nested_splits = 0;
+  double nested_helper_s = 0.0;
   double parallel_efficiency() const {
     return makespan_s > 0.0
                ? busy_s / (makespan_s * static_cast<double>(workers))

@@ -18,37 +18,44 @@ namespace hcham::tile {
 
 /// Tiled right-looking LU (paper Algorithm 1). Submits the whole task
 /// graph; call engine.wait_all() to execute. Factorization is unpivoted.
-template <typename T>
+/// `kernels` is copied into every task closure; the default forwards to
+/// the free kernels, while core/nested.hpp's set re-submits large H-tile
+/// kernels as nested sub-epochs.
+template <typename T, typename Kernels = DefaultTileKernels<T>>
 void tiled_getrf(rt::Engine& engine, TileDesc<T>& a,
-                 const rk::TruncationParams& tp) {
+                 const rk::TruncationParams& tp, Kernels kernels = {}) {
   HCHAM_CHECK(a.rows() == a.cols());
   const index_t nt = a.nt();
   for (index_t k = 0; k < nt; ++k) {
     const int base = static_cast<int>(nt - k);
     engine.submit(
-        [&a, k, tp] {
-          const int info = kernel_getrf(a.tile(k, k), tp);
+        [&a, k, tp, kernels] {
+          const int info = kernels.getrf(a.tile(k, k), tp);
           HCHAM_CHECK_MSG(info == 0, "zero pivot in tiled LU");
         },
         {rt::readwrite(a.handle(k, k))}, 3 * base, "getrf");
     for (index_t j = k + 1; j < nt; ++j) {
       engine.submit(
-          [&a, k, j, tp] { kernel_trsm_lower(a.tile(k, k), a.tile(k, j), tp); },
+          [&a, k, j, tp, kernels] {
+            kernels.trsm_lower(a.tile(k, k), a.tile(k, j), tp);
+          },
           {rt::read(a.handle(k, k)), rt::readwrite(a.handle(k, j))},
           2 * base, "trsm");
     }
     for (index_t i = k + 1; i < nt; ++i) {
       engine.submit(
-          [&a, k, i, tp] { kernel_trsm_upper(a.tile(k, k), a.tile(i, k), tp); },
+          [&a, k, i, tp, kernels] {
+            kernels.trsm_upper(a.tile(k, k), a.tile(i, k), tp);
+          },
           {rt::read(a.handle(k, k)), rt::readwrite(a.handle(i, k))},
           2 * base, "trsm");
     }
     for (index_t i = k + 1; i < nt; ++i) {
       for (index_t j = k + 1; j < nt; ++j) {
         engine.submit(
-            [&a, k, i, j, tp] {
-              kernel_gemm(T{-1}, a.tile(i, k), a.tile(k, j), a.tile(i, j),
-                          tp);
+            [&a, k, i, j, tp, kernels] {
+              kernels.gemm(T{-1}, a.tile(i, k), a.tile(k, j), a.tile(i, j),
+                           tp);
             },
             {rt::read(a.handle(i, k)), rt::read(a.handle(k, j)),
              rt::readwrite(a.handle(i, j))},
@@ -197,24 +204,24 @@ void tiled_getrs(rt::Engine& engine, const TileDesc<T>& a,
 /// Tiled lower Cholesky (POTRF): the symmetric counterpart of
 /// tiled_getrf for Hermitian positive-definite matrices. Only the lower
 /// tile triangle is read/written.
-template <typename T>
+template <typename T, typename Kernels = DefaultTileKernels<T>>
 void tiled_potrf(rt::Engine& engine, TileDesc<T>& a,
-                 const rk::TruncationParams& tp) {
+                 const rk::TruncationParams& tp, Kernels kernels = {}) {
   HCHAM_CHECK(a.rows() == a.cols());
   const index_t nt = a.nt();
   for (index_t k = 0; k < nt; ++k) {
     const int base = static_cast<int>(nt - k);
     engine.submit(
-        [&a, k, tp] {
-          const int info = kernel_potrf(a.tile(k, k), tp);
+        [&a, k, tp, kernels] {
+          const int info = kernels.potrf(a.tile(k, k), tp);
           HCHAM_CHECK_MSG(info == 0,
                           "non-positive-definite pivot in tiled Cholesky");
         },
         {rt::readwrite(a.handle(k, k))}, 3 * base, "potrf");
     for (index_t i = k + 1; i < nt; ++i) {
       engine.submit(
-          [&a, k, i, tp] {
-            kernel_trsm_lower_right_adjoint(a.tile(k, k), a.tile(i, k), tp);
+          [&a, k, i, tp, kernels] {
+            kernels.trsm_lower_right_adjoint(a.tile(k, k), a.tile(i, k), tp);
           },
           {rt::read(a.handle(k, k)), rt::readwrite(a.handle(i, k))},
           2 * base, "trsm");
@@ -223,9 +230,9 @@ void tiled_potrf(rt::Engine& engine, TileDesc<T>& a,
       for (index_t j = k + 1; j <= i; ++j) {
         // A_ij -= A_ik * A_jk^H (HERK when i == j).
         engine.submit(
-            [&a, k, i, j, tp] {
-              kernel_gemm_adjoint_b(T{-1}, a.tile(i, k), a.tile(j, k),
-                                    a.tile(i, j), tp);
+            [&a, k, i, j, tp, kernels] {
+              kernels.gemm_adjoint_b(T{-1}, a.tile(i, k), a.tile(j, k),
+                                     a.tile(i, j), tp);
             },
             {rt::read(a.handle(i, k)), rt::read(a.handle(j, k)),
              rt::readwrite(a.handle(i, j))},

@@ -180,4 +180,39 @@ void kernel_solve_upper(const Tile<T>& akk, la::MatrixView<T> x) {
   }
 }
 
+/// The factorization kernel set the tiled algorithms dispatch through: a
+/// value type copied into each task closure, so an alternative set (the
+/// nested-epoch kernels of core/nested.hpp) can swap in per-call behavior
+/// without touching the submission logic. This default simply forwards to
+/// the free kernels above.
+template <typename T>
+struct DefaultTileKernels {
+  int getrf(Tile<T>& a, const rk::TruncationParams& tp) const {
+    return kernel_getrf(a, tp);
+  }
+  void trsm_lower(const Tile<T>& akk, Tile<T>& akj,
+                  const rk::TruncationParams& tp) const {
+    kernel_trsm_lower(akk, akj, tp);
+  }
+  void trsm_upper(const Tile<T>& akk, Tile<T>& aik,
+                  const rk::TruncationParams& tp) const {
+    kernel_trsm_upper(akk, aik, tp);
+  }
+  void gemm(T alpha, const Tile<T>& a, const Tile<T>& b, Tile<T>& c,
+            const rk::TruncationParams& tp) const {
+    kernel_gemm(alpha, a, b, c, tp);
+  }
+  int potrf(Tile<T>& a, const rk::TruncationParams& tp) const {
+    return kernel_potrf(a, tp);
+  }
+  void trsm_lower_right_adjoint(const Tile<T>& akk, Tile<T>& aik,
+                                const rk::TruncationParams& tp) const {
+    kernel_trsm_lower_right_adjoint(akk, aik, tp);
+  }
+  void gemm_adjoint_b(T alpha, const Tile<T>& a, const Tile<T>& b, Tile<T>& c,
+                      const rk::TruncationParams& tp) const {
+    kernel_gemm_adjoint_b(alpha, a, b, c, tp);
+  }
+};
+
 }  // namespace hcham::tile

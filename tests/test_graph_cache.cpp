@@ -127,6 +127,35 @@ TEST(GraphCapture, CaptureRefusedWhenArmedOrUndrained) {
   EXPECT_EQ(eng.end_capture(), nullptr);
 }
 
+TEST(GraphCapture, CaptureRefusedWhileNestedSubEpochLive) {
+  // Regression: a live nested sub-epoch (DESIGN.md section 11) must make
+  // begin_capture/begin_replay fail with a clean Error, not capture a
+  // half-expanded graph. The sub-epoch counts as live from construction
+  // until destruction, even after its own wait() drained it.
+  Engine eng({.num_workers = 2});
+  {
+    rt::NestedEpoch ep(eng, 0.0);  // main thread: inline mode, still live
+    EXPECT_THROW(eng.begin_capture(), Error);
+    auto a = ep.register_data();
+    ep.submit([] {}, {rt::readwrite(a)});
+    ep.wait();
+    EXPECT_THROW(eng.begin_capture(), Error);
+  }
+  // Gone after destruction: capture works and the engine is unharmed.
+  ASSERT_TRUE(eng.begin_capture());
+  eng.submit([] {}, {});
+  eng.wait_all();
+  auto g = eng.end_capture();
+  ASSERT_NE(g, nullptr);
+  {
+    rt::NestedEpoch ep(eng, 0.0);
+    EXPECT_THROW(eng.begin_replay(g), Error);
+  }
+  eng.begin_replay(g);
+  eng.submit([] {}, {});
+  eng.wait_all();
+}
+
 TEST(GraphCapture, SlotCountMismatchIsAnErrorAndEngineStaysUsable) {
   Engine eng({.num_workers = 2});
   const Handle h = eng.register_data();

@@ -3,6 +3,7 @@
 // H-matrix AXPY utility.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <mutex>
 
 #include "common/rng.hpp"
@@ -108,6 +109,93 @@ TEST(SimulatorConsistency, SingleWorkerReplayMatchesMeasuredTotal) {
   auto g = eng.graph();
   auto r = rt::simulate(g, SchedulerPolicy::Priority, 1, rt::SimParams{0, 0});
   EXPECT_NEAR(r.makespan_s, g.total_work_s(), 1e-12);
+}
+
+/// Multi-epoch drain with concurrent nested sub-epochs (DESIGN.md section
+/// 11): successive parent epochs each run several tile-like tasks that
+/// open forced-parallel sub-epochs with private random DAGs, interleaved
+/// with ordinary dependent tasks, so pool workers steal across several
+/// live sub-epochs while the parent graph is still draining. Every cell
+/// must match the sequential referee in every epoch — and the engine must
+/// drain cleanly every time (this is the ASan/UBSan soak for the nested
+/// ownership and steal protocol).
+TEST(NestedStress, MultiEpochDrainWithConcurrentSubEpochs) {
+  ::setenv("HCHAM_NESTED_FORCE", "1", 1);
+  constexpr int kEpochs = 8;
+  constexpr int kParents = 6;
+  constexpr int kCells = 4;
+  constexpr int kNestedTasks = 40;
+
+  struct Step {
+    int src;
+    int dst;
+    double coeff;
+  };
+  auto draw_plan = [](Rng& rng) {
+    std::vector<Step> plan;
+    for (int t = 0; t < kNestedTasks; ++t) {
+      const int src = static_cast<int>(rng.uniform_index(kCells));
+      int dst = static_cast<int>(rng.uniform_index(kCells));
+      if (dst == src) dst = (dst + 1) % kCells;
+      plan.push_back(Step{src, dst, rng.uniform(0.1, 0.9)});
+    }
+    return plan;
+  };
+  auto apply = [](std::vector<double>& cells, const Step& s) {
+    cells[static_cast<std::size_t>(s.dst)] +=
+        s.coeff * cells[static_cast<std::size_t>(s.src)];
+  };
+
+  for (const SchedulerPolicy policy :
+       {SchedulerPolicy::WorkStealing, SchedulerPolicy::Priority}) {
+    Engine eng({.num_workers = 4, .policy = policy});
+    for (int e = 0; e < kEpochs; ++e) {
+      std::vector<std::vector<double>> cells(
+          kParents, std::vector<double>(kCells, 1.0));
+      std::vector<std::vector<Step>> plans;
+      for (int p = 0; p < kParents; ++p) {
+        Rng rng(static_cast<std::uint64_t>(1000 * e + p + 1));
+        plans.push_back(draw_plan(rng));
+      }
+
+      // Per-parent: a pre-task, the sub-epoch task, and a post-task chained
+      // on one handle, so nested stealing overlaps normal epoch scheduling.
+      std::vector<int> post_ran(kParents, 0);
+      for (int p = 0; p < kParents; ++p) {
+        auto h = eng.register_data();
+        eng.submit([] {}, {rt::readwrite(h)}, 1, "pre");
+        eng.submit(
+            [&eng, &cells, &plans, &apply, p] {
+              rt::NestedEpoch ep(eng, 0.0);
+              auto a = ep.register_data();
+              for (const Step& s : plans[static_cast<std::size_t>(p)])
+                ep.submit(
+                    [&cells, &apply, p, s] {
+                      apply(cells[static_cast<std::size_t>(p)], s);
+                    },
+                    {rt::readwrite(a)});
+              ep.wait();
+            },
+            {rt::readwrite(h)}, 2, "sub-epoch");
+        eng.submit([&post_ran, p] { post_ran[static_cast<std::size_t>(p)] = 1; },
+                   {rt::read(h)}, 0, "post");
+      }
+      eng.wait_all();
+
+      for (int p = 0; p < kParents; ++p) {
+        std::vector<double> ref(kCells, 1.0);
+        for (const Step& s : plans[static_cast<std::size_t>(p)]) apply(ref, s);
+        EXPECT_EQ(post_ran[static_cast<std::size_t>(p)], 1);
+        for (int i = 0; i < kCells; ++i)
+          EXPECT_DOUBLE_EQ(cells[static_cast<std::size_t>(p)]
+                                [static_cast<std::size_t>(i)],
+                           ref[static_cast<std::size_t>(i)])
+              << "epoch " << e << " parent " << p << " cell " << i
+              << " policy " << rt::to_string(policy);
+      }
+    }
+  }
+  ::unsetenv("HCHAM_NESTED_FORCE");
 }
 
 TEST(Haxpy, MatchingStructures) {
