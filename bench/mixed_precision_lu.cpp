@@ -1,0 +1,220 @@
+// Mixed-precision Tile-H LU: fp64 factor+solve vs fp32 factors + promoted
+// iterative refinement against the fp64 operator (core/mixed.hpp, DESIGN.md
+// section 12). The same FEM/BEM
+// problem runs both pipelines end to end in one process; wall times,
+// refinement sweep counts, and forward errors are compared.
+//
+// Usage: mixed_precision_lu [--smoke] [--out=PATH]
+//   --smoke    trimmed size for CI
+//   --out=PATH result file (default BENCH_mixed.json)
+//
+// Records ("mixed_lu_fp64" / "mixed_lu_fp32") carry extra fields:
+// "workers", "forward_error", "residual", "sweeps", "stored_elements".
+// A third record "mixed_lu_summary" carries "speedup" and "error_ratio".
+//
+// Exit status is nonzero when
+//   * the fp32-factored + refined solve does not match the fp64 forward
+//     error within 10x, or
+//   * refinement needs more than 3 sweeps to get there, or
+//   * on hosts with >= 4 hardware threads, the mixed pipeline's end-to-end
+//     (factor + solve) wall time is not >= 1.4x faster than the fp64 one
+//     (skipped on smaller hosts, where the accuracy gates still run).
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/mixed.hpp"
+#include "core/refinement.hpp"
+
+using namespace hcham;
+
+namespace {
+
+bench::BenchJson g_json;
+
+// Truncation-tolerance ratio for the fp32 factors. The mixed path keeps the
+// factor tolerance close to the operator's: the fp32 win comes from
+// half-width storage and arithmetic, while the preconditioner stays strong
+// enough for refinement to contract to fp64 accuracy in <= 3 sweeps.
+constexpr double kFactorEpsRatio = 2.0;
+
+struct ModeResult {
+  double time_s = 0.0;        ///< best-of-reps factor(+convert) + solve
+  double forward_error = 0.0;
+  double residual = 0.0;
+  int sweeps = 0;
+  index_t stored = 0;
+};
+
+/// RHS through the unfactorized compressed operator: b = A x0.
+la::Matrix<double> make_rhs(const core::TileHMatrix<double>& op,
+                            const la::Matrix<double>& x0) {
+  la::Matrix<double> b(x0.rows(), x0.cols());
+  for (index_t c = 0; c < x0.cols(); ++c) {
+    std::vector<double> y(static_cast<std::size_t>(x0.rows()), 0.0);
+    op.matvec(1.0, x0.view().col(c), 0.0, y.data());
+    la::unpack_column(y.data(), b.view(), c);
+  }
+  return b;
+}
+
+double forward_error(const la::Matrix<double>& x,
+                     const la::Matrix<double>& x0) {
+  la::Matrix<double> d = la::Matrix<double>::from_view(x.cview());
+  la::axpy(-1.0, x0.cview(), d.view());
+  return static_cast<double>(la::norm_fro(d.cview())) /
+         static_cast<double>(la::norm_fro(x0.cview()));
+}
+
+/// One end-to-end rep of either pipeline. The timed region is everything a
+/// solver user pays after assembly: (conversion for the mixed path +)
+/// factorization + the refined multi-RHS solve.
+ModeResult run_mode(bool mixed, const bem::FemBemProblem<double>& problem,
+                    index_t nb, double eps, int workers, int reps,
+                    const la::Matrix<double>& x0) {
+  auto gen = [&problem](index_t i, index_t j) { return problem.entry(i, j); };
+  ModeResult out;
+  for (int r = 0; r < reps; ++r) {
+    rt::Engine engine({.num_workers = workers});
+    auto op = core::TileHMatrix<double>::build(engine, problem.points(), gen,
+                                               bench::tileh_options(nb, eps));
+    const la::Matrix<double> b = make_rhs(op, x0);
+    la::Matrix<double> x = la::Matrix<double>::from_view(b.cview());
+    core::RefinementResult rr;
+    double time_s = 0.0;
+    if (mixed) {
+      Timer t;
+      auto lo = op.convert_to<float>(engine, kFactorEpsRatio * eps);
+      lo.factorize(engine);
+      rr = core::solve_refined(lo, op, engine, x.view(), /*max_iters=*/3,
+                               /*target_residual=*/1e-12);
+      time_s = t.seconds();
+      out.stored = lo.stored_elements();
+    } else {
+      auto f = core::TileHMatrix<double>::build(engine, problem.points(), gen,
+                                                bench::tileh_options(nb, eps));
+      Timer t;
+      f.factorize(engine);
+      rr = core::solve_refined(f, op, engine, x.view(), /*max_iters=*/3,
+                               /*target_residual=*/1e-12);
+      time_s = t.seconds();
+      out.stored = f.stored_elements();
+    }
+    if (r == 0 || time_s < out.time_s) out.time_s = time_s;
+    if (r == 0) {
+      out.forward_error = forward_error(x, x0);
+      out.residual = rr.final_residual;
+      out.sweeps = rr.iterations;
+    }
+  }
+  return out;
+}
+
+void report(const char* name, index_t n, int workers, int reps,
+            const ModeResult& m) {
+  bench::BenchRecord rec;
+  rec.name = name;
+  rec.size = n;
+  rec.reps = reps;
+  rec.median_s = rec.min_s = m.time_s;
+  rec.extra = {
+      {"workers", static_cast<double>(workers)},
+      {"forward_error", m.forward_error},
+      {"residual", m.residual},
+      {"sweeps", static_cast<double>(m.sweeps)},
+      {"stored_elements", static_cast<double>(m.stored)},
+  };
+  g_json.add(rec);
+  std::printf("%-16s N=%-6ld P=%-2d  %.4f s  ferr %.2e  res %.2e  sweeps %d "
+              "stored %ld\n",
+              name, static_cast<long>(n), workers, m.time_s, m.forward_error,
+              m.residual, m.sweeps, static_cast<long>(m.stored));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out = "BENCH_mixed.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    else if (std::strncmp(argv[i], "--out=", 6) == 0) out = argv[i] + 6;
+    else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--out=PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+  const double eps = bench::bench_eps();
+  const index_t n = bench::scaled(smoke ? 1200 : 3200);
+  const index_t nb = bench::default_tile_size(smoke ? 1600 : 3200);
+  const unsigned hw = std::thread::hardware_concurrency();
+  const int workers = hw >= 4 ? 4 : 1;
+  const int reps = smoke ? 2 : 3;
+  const index_t nrhs = 4;
+  std::printf(
+      "# mixed_precision_lu%s (git %s) N=%ld NB=%ld eps=%.1e hw_threads=%u "
+      "P=%d nrhs=%ld\n",
+      smoke ? " --smoke" : "", bench::bench_git_rev().c_str(),
+      static_cast<long>(n), static_cast<long>(nb), eps, hw, workers,
+      static_cast<long>(nrhs));
+
+  bem::FemBemProblem<double> problem(n);
+  const la::Matrix<double> x0 = la::Matrix<double>::random(n, nrhs, 4242);
+
+  const ModeResult fp64 =
+      run_mode(false, problem, nb, eps, workers, reps, x0);
+  report("mixed_lu_fp64", n, workers, reps, fp64);
+  const ModeResult fp32 =
+      run_mode(true, problem, nb, eps, workers, reps, x0);
+  report("mixed_lu_fp32", n, workers, reps, fp32);
+
+  const double speedup = fp32.time_s > 0.0 ? fp64.time_s / fp32.time_s : 0.0;
+  const double error_ratio =
+      fp64.forward_error > 0.0 ? fp32.forward_error / fp64.forward_error
+                               : 0.0;
+  std::printf("# wall time: fp64 %.4f s -> mixed %.4f s (%.2fx speedup)\n",
+              fp64.time_s, fp32.time_s, speedup);
+  std::printf("# forward error: fp64 %.2e vs mixed %.2e (%.2fx), sweeps %d\n",
+              fp64.forward_error, fp32.forward_error, error_ratio,
+              fp32.sweeps);
+  bench::BenchRecord summary;
+  summary.name = "mixed_lu_summary";
+  summary.size = n;
+  summary.reps = reps;
+  summary.median_s = summary.min_s = fp32.time_s;
+  summary.extra = {
+      {"workers", static_cast<double>(workers)},
+      {"speedup", speedup},
+      {"error_ratio", error_ratio},
+      {"hw_threads", static_cast<double>(hw)},
+  };
+  g_json.add(summary);
+
+  if (!g_json.write(out))
+    std::fprintf(stderr, "warning: could not write %s\n", out.c_str());
+  else
+    std::printf("# wrote %s (%zu records)\n", out.c_str(),
+                g_json.records().size());
+
+  int status = 0;
+  if (fp32.forward_error > 10.0 * std::max(fp64.forward_error, 1e-15)) {
+    std::fprintf(stderr,
+                 "FAIL: mixed forward error %.2e exceeds 10x fp64 %.2e\n",
+                 fp32.forward_error, fp64.forward_error);
+    status = 1;
+  }
+  if (fp32.sweeps > 3) {
+    std::fprintf(stderr, "FAIL: refinement needed %d sweeps (> 3)\n",
+                 fp32.sweeps);
+    status = 1;
+  }
+  if (hw >= 4 && speedup < 1.4) {
+    std::fprintf(stderr, "FAIL: mixed speedup %.2fx below 1.4x\n", speedup);
+    status = 1;
+  } else if (hw < 4) {
+    std::printf("# gate: speedup check skipped (hw_threads=%u < 4)\n", hw);
+  }
+  return status;
+}

@@ -68,4 +68,29 @@ struct FemBemKernel<std::complex<double>> {
   }
 };
 
+// Single-precision problems (the mixed-precision tests and float-first
+// property suites): evaluate in double, round once at the end, so the fp32
+// operator is the correctly-rounded image of the fp64 one.
+template <>
+struct FemBemKernel<float> {
+  LaplaceKernel kernel;
+  explicit FemBemKernel(double mesh_step, double /*k*/ = 0.0)
+      : kernel{mesh_step} {}
+  float operator()(const cluster::Point3& a, const cluster::Point3& b) const {
+    return static_cast<float>(kernel(cluster::distance(a, b)));
+  }
+};
+
+template <>
+struct FemBemKernel<std::complex<float>> {
+  HelmholtzKernel kernel;
+  explicit FemBemKernel(double mesh_step, double k)
+      : kernel{mesh_step, k} {}
+  std::complex<float> operator()(const cluster::Point3& a,
+                                 const cluster::Point3& b) const {
+    const std::complex<double> v = kernel(cluster::distance(a, b));
+    return {static_cast<float>(v.real()), static_cast<float>(v.imag())};
+  }
+};
+
 }  // namespace hcham::bem

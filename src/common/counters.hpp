@@ -23,6 +23,14 @@ struct ArithCounters {
   std::atomic<std::uint64_t> acc_compactions{0};  ///< pending-tail compressions
   std::atomic<std::uint64_t> ws_hits{0};    ///< arena requests served in place
   std::atomic<std::uint64_t> ws_misses{0};  ///< arena requests that malloc'd
+  // Batched leaf-kernel streams (la/batch.hpp): flushed streams, total leaf
+  // descriptors pushed, descriptors executed inside a same-shape bucket of
+  // >= HCHAM_BATCH_MIN_BUCKET entries, and descriptors executed immediately
+  // (stream disabled or unbatchable).
+  std::atomic<std::uint64_t> batch_streams{0};
+  std::atomic<std::uint64_t> batch_ops{0};
+  std::atomic<std::uint64_t> batch_bucketed_ops{0};
+  std::atomic<std::uint64_t> batch_immediate_ops{0};
 
   void bump(std::atomic<std::uint64_t>& c) {
     c.fetch_add(1, std::memory_order_relaxed);
@@ -45,6 +53,10 @@ struct ArithCounterSnapshot {
   std::uint64_t acc_compactions = 0;
   std::uint64_t ws_hits = 0;
   std::uint64_t ws_misses = 0;
+  std::uint64_t batch_streams = 0;
+  std::uint64_t batch_ops = 0;
+  std::uint64_t batch_bucketed_ops = 0;
+  std::uint64_t batch_immediate_ops = 0;
 };
 
 inline ArithCounterSnapshot snapshot_arith_counters() {
@@ -61,6 +73,12 @@ inline ArithCounterSnapshot snapshot_arith_counters() {
   s.acc_compactions = c.acc_compactions.load(std::memory_order_relaxed);
   s.ws_hits = c.ws_hits.load(std::memory_order_relaxed);
   s.ws_misses = c.ws_misses.load(std::memory_order_relaxed);
+  s.batch_streams = c.batch_streams.load(std::memory_order_relaxed);
+  s.batch_ops = c.batch_ops.load(std::memory_order_relaxed);
+  s.batch_bucketed_ops =
+      c.batch_bucketed_ops.load(std::memory_order_relaxed);
+  s.batch_immediate_ops =
+      c.batch_immediate_ops.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -75,6 +93,10 @@ inline void reset_arith_counters() {
   c.acc_compactions.store(0, std::memory_order_relaxed);
   c.ws_hits.store(0, std::memory_order_relaxed);
   c.ws_misses.store(0, std::memory_order_relaxed);
+  c.batch_streams.store(0, std::memory_order_relaxed);
+  c.batch_ops.store(0, std::memory_order_relaxed);
+  c.batch_bucketed_ops.store(0, std::memory_order_relaxed);
+  c.batch_immediate_ops.store(0, std::memory_order_relaxed);
 }
 
 /// Process-wide tallies for the task-graph capture/replay layer (DESIGN.md

@@ -28,4 +28,23 @@ inline std::string env_string(const char* name, const std::string& fallback) {
   return (v == nullptr || *v == '\0') ? fallback : std::string(v);
 }
 
+// Bounded variants for knobs with a meaningful domain (block sizes, rank
+// budgets, cache capacities). A value outside [lo, hi] degrades to the
+// fallback -- NOT a clamp: a hostile environment ("HCHAM_GEMM_MC=-4")
+// should behave exactly like an unset one instead of pinning the knob to
+// an extreme the defaults were never tuned for.
+
+inline long env_long_bounded(const char* name, long fallback, long lo,
+                             long hi) {
+  const long v = env_long(name, fallback);
+  return (v < lo || v > hi) ? fallback : v;
+}
+
+inline double env_double_bounded(const char* name, double fallback, double lo,
+                                 double hi) {
+  const double v = env_double(name, fallback);
+  // NaN fails both comparisons and falls through to the fallback.
+  return (v >= lo && v <= hi) ? v : fallback;
+}
+
 }  // namespace hcham

@@ -3,12 +3,19 @@
 // H-factorizations are accurate only to the compression tolerance eps; a
 // few refinement sweeps with the (more accurate) unfactorized compressed
 // operator recover several digits at the cost of one matvec + one solve
-// per sweep. This is the standard practice for loose-eps direct H-solvers.
+// per sweep. This is the standard practice for loose-eps direct H-solvers,
+// and it is also what makes the mixed-precision factorization path work:
+// the factors may live in demoted_t<T> (core/mixed.hpp) — each sweep
+// demotes the fp64 residual, solves in fp32, and promotes the correction,
+// recovering fp64-level forward error in a few sweeps.
 #pragma once
 
 #include <algorithm>
+#include <limits>
+#include <type_traits>
 #include <vector>
 
+#include "common/scalar.hpp"
 #include "core/tile_h.hpp"
 
 namespace hcham::core {
@@ -18,25 +25,42 @@ struct RefinementResult {
   double final_residual = 0.0;  ///< max over columns of ||b_c - A x_c|| / ||b_c||
   /// Per-column relative residuals, one entry per RHS column.
   std::vector<double> column_residuals;
+  /// The convergence target actually used (the auto-derived one when the
+  /// caller passed target_residual <= 0).
+  double target = 0.0;
 };
 
 /// Solve A X = B in place (B <- X) with iterative refinement; B may hold
 /// any number of right-hand-side columns and every sweep refines all of
-/// them in one batched solve. `factored` holds LU or Cholesky factors;
-/// `op` is an UNfactorized Tile-H matrix of the same problem used for
-/// residuals. Returns the max relative residual over columns (so the
-/// single-column behaviour of earlier revisions is unchanged).
-template <typename T>
-RefinementResult solve_refined(TileHMatrix<T>& factored,
+/// them in one batched solve. `factored` holds LU or Cholesky factors in
+/// TF, which must be T itself or demoted_t<T> (the mixed-precision factor
+/// path); `op` is an UNfactorized Tile-H matrix of the same problem in the
+/// full precision T, used for residuals. Residuals, corrections, and the
+/// solution accumulate in T regardless of TF.
+///
+/// `target_residual <= 0` selects an automatic target scaled to what the
+/// working precision can actually deliver: roughly
+/// 64 * eps(real_t<T>) * max(1, ||A||_F * max_c ||x_c|| / ||b_c||). A fixed
+/// absolute default (the old 1e-14) is unreachable for T = float and
+/// forces wasted sweeps; the scaled target converges for every T.
+///
+/// The reported residuals are always FRESH: they are recomputed after the
+/// final correction, so result.final_residual / column_residuals describe
+/// the returned X, not the iterate one sweep earlier.
+template <typename TF, typename T>
+RefinementResult solve_refined(TileHMatrix<TF>& factored,
                                const TileHMatrix<T>& op, rt::Engine& engine,
                                la::MatrixView<T> b, int max_iters = 3,
-                               double target_residual = 1e-14,
+                               double target_residual = 0.0,
                                bool cholesky = false,
                                index_t panel_width = 0,
                                rt::GraphCache* cache = nullptr) {
+  static_assert(std::is_same_v<TF, T> || std::is_same_v<TF, demoted_t<T>>,
+                "factors must be in T or its demoted precision");
   const index_t n = factored.size();
   const index_t nrhs = b.cols();
   HCHAM_CHECK(b.rows() == n && nrhs >= 1);
+  HCHAM_CHECK(op.size() == n);
 
   la::Matrix<T> rhs = la::Matrix<T>::from_view(b);
   std::vector<double> bnorm(static_cast<std::size_t>(nrhs));
@@ -45,11 +69,28 @@ RefinementResult solve_refined(TileHMatrix<T>& factored,
 
   // Every sweep solves the same structure with the same column count, so
   // after the first sweep the refinement loop runs entirely on replays.
+  // In the mixed path the demote/solve/promote round-trip stays in one
+  // scratch matrix; the factored structure signature differs from the
+  // native one (different eps and scalar-independent structure hashing
+  // keyed on the converted options), so cached graphs never collide.
+  la::Matrix<TF> scratch;
   auto solve_inplace = [&](la::MatrixView<T> v) {
-    if (cholesky) {
-      factored.solve_cholesky(engine, v, panel_width, cache);
+    if constexpr (std::is_same_v<TF, T>) {
+      if (cholesky) {
+        factored.solve_cholesky(engine, v, panel_width, cache);
+      } else {
+        factored.solve(engine, v, panel_width, cache);
+      }
     } else {
-      factored.solve(engine, v, panel_width, cache);
+      if (scratch.rows() != v.rows() || scratch.cols() != v.cols())
+        scratch.reset(v.rows(), v.cols());
+      la::convert<TF, T>(la::ConstMatrixView<T>(v), scratch.view());
+      if (cholesky) {
+        factored.solve_cholesky(engine, scratch.view(), panel_width, cache);
+      } else {
+        factored.solve(engine, scratch.view(), panel_width, cache);
+      }
+      la::convert<T, TF>(scratch.cview(), v);
     }
   };
 
@@ -59,8 +100,10 @@ RefinementResult solve_refined(TileHMatrix<T>& factored,
   result.column_residuals.assign(static_cast<std::size_t>(nrhs), 0.0);
   la::Matrix<T> r(n, nrhs);
   std::vector<T> x(static_cast<std::size_t>(n));
-  for (int it = 0; it < max_iters; ++it) {
-    // R = RHS - A X, one matvec per column.
+  // R = RHS - A X, one matvec per column; refresh the per-column and max
+  // relative residuals. Called after the initial solve and after EVERY
+  // correction, so the loop can never exit with stale residuals.
+  auto compute_residuals = [&] {
     la::copy(rhs.cview(), r.view());
     for (index_t c = 0; c < nrhs; ++c) {
       la::pack_column(la::ConstMatrixView<T>(b), c, x.data());
@@ -73,12 +116,37 @@ RefinementResult solve_refined(TileHMatrix<T>& factored,
       result.column_residuals[static_cast<std::size_t>(c)] = res;
       result.final_residual = std::max(result.final_residual, res);
     }
-    if (result.final_residual <= target_residual) break;
+  };
+  compute_residuals();
+
+  if (target_residual <= 0.0) {
+    // Auto target in the OPERATOR precision T (not TF — mixed factors are
+    // a preconditioner; the achievable residual is set by the precision
+    // the residual itself is computed in). The ||A||_F * ||x|| / ||b||
+    // amplification term accounts for ill-conditioning: for a benign
+    // operator it is O(1) and the target is ~64 eps.
+    const double eps_T =
+        static_cast<double>(std::numeric_limits<real_t<T>>::epsilon());
+    double amp = 0.0;
+    const double anorm = static_cast<double>(op.norm_fro());
+    for (index_t c = 0; c < nrhs; ++c) {
+      const double bn = bnorm[static_cast<std::size_t>(c)];
+      if (bn <= 0.0) continue;
+      la::pack_column(la::ConstMatrixView<T>(b), c, x.data());
+      amp = std::max(amp, anorm * la::nrm2(n, x.data()) / bn);
+    }
+    target_residual = 64.0 * eps_T * std::max(1.0, amp);
+  }
+  result.target = target_residual;
+
+  while (result.final_residual > target_residual &&
+         result.iterations < max_iters) {
     // X += A_f^-1 R: one batched solve refines every column.
     solve_inplace(r.view());
     for (index_t c = 0; c < nrhs; ++c)
       for (index_t i = 0; i < n; ++i) b(i, c) += r(i, c);
     ++result.iterations;
+    compute_residuals();
   }
   return result;
 }

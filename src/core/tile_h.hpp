@@ -20,6 +20,9 @@
 #include "cluster/cluster_tree.hpp"
 #include "core/nested.hpp"
 #include "hmatrix/build.hpp"
+#include "hmatrix/convert.hpp"
+#include "hmatrix/matmat.hpp"
+#include "la/norms.hpp"
 #include "runtime/engine.hpp"
 #include "tile/algorithms.hpp"
 #include "tile/tile_desc.hpp"
@@ -199,25 +202,93 @@ class TileHMatrix {
   }
 
   /// y = alpha A x + beta y in the ORIGINAL index ordering (sequential;
-  /// used for RHS generation and residual checks).
+  /// used for RHS generation and residual checks). The leaf GEMMs of ALL
+  /// nt^2 tiles are collected into one batched stream (la/batch.hpp) and
+  /// flushed once — the refinement residual loop is the hottest caller.
   void matvec(T alpha, const T* x, T beta, T* y) const {
     std::vector<T> xp(static_cast<std::size_t>(n_));
     std::vector<T> yp(static_cast<std::size_t>(n_), T{});
     for (index_t i = 0; i < n_; ++i)
       xp[static_cast<std::size_t>(i)] = x[clustering_.tree.perm(i)];
     const index_t nt = num_tiles();
-    for (index_t i = 0; i < nt; ++i) {
-      T* yseg = yp.data() + desc_->row_offset(i);
-      for (index_t j = 0; j < nt; ++j) {
-        const T* xseg = xp.data() + desc_->col_offset(j);
-        tile::kernel_gemv(la::Op::NoTrans, T{1}, desc_->tile(i, j), xseg,
-                          yseg);
+    {
+      la::BatchStream<T> stream;
+      for (index_t i = 0; i < nt; ++i) {
+        for (index_t j = 0; j < nt; ++j) {
+          const tile::Tile<T>& t = desc_->tile(i, j);
+          la::ConstMatrixView<T> xv(xp.data() + desc_->col_offset(j), t.n, 1,
+                                    t.n > 0 ? t.n : 1);
+          la::MatrixView<T> yv(yp.data() + desc_->row_offset(i), t.m, 1,
+                               t.m > 0 ? t.m : 1);
+          if (t.format == tile::TileFormat::Full) {
+            stream.push_gemm(la::Op::NoTrans, la::Op::NoTrans, T{1},
+                             t.full.cview(), xv, yv);
+          } else {
+            hmat::matmat_stream(stream, la::Op::NoTrans, T{1}, *t.h, xv, yv);
+          }
+        }
       }
+      stream.flush();
     }
     for (index_t i = 0; i < n_; ++i) {
       T& yi = y[clustering_.tree.perm(i)];
       yi = beta * yi + alpha * yp[static_cast<std::size_t>(i)];
     }
+  }
+
+  /// Exact Frobenius norm from the compressed tiles (tile index sets are
+  /// disjoint, so the squares add). Feeds the auto residual target of
+  /// core::solve_refined.
+  real_t<T> norm_fro() const {
+    real_t<T> acc{};
+    const index_t nt = num_tiles();
+    for (index_t i = 0; i < nt; ++i)
+      for (index_t j = 0; j < nt; ++j) {
+        const tile::Tile<T>& t = desc_->tile(i, j);
+        if (t.format == tile::TileFormat::Full) {
+          const real_t<T> f = la::norm_fro(t.full.cview());
+          acc += f * f;
+        } else if (t.h) {
+          acc += t.h->norm_fro_sq();
+        }
+      }
+    return std::sqrt(acc);
+  }
+
+  /// Rebuild this matrix with scalars converted to U (same clustering, same
+  /// block structure; Rk factors convert without re-compression), optionally
+  /// under a looser compression tolerance `factor_eps` for the subsequent
+  /// factorization — the mixed-precision factor path (core/mixed.hpp).
+  /// Conversion is task-parallel: one task per tile on `engine`. The eps
+  /// override feeds structure_signature(), so fp32 factor graphs never
+  /// collide with native ones in the graph cache.
+  template <typename U>
+  TileHMatrix<U> convert_to(rt::Engine& engine,
+                            double factor_eps = 0.0) const {
+    TileHOptions opts = opts_;
+    if (factor_eps > 0.0) opts.hmatrix.compression.eps = factor_eps;
+    TileHMatrix<U> out(engine, clustering_, opts);
+    const index_t nt = num_tiles();
+    for (index_t i = 0; i < nt; ++i) {
+      for (index_t j = 0; j < nt; ++j) {
+        const tile::Tile<T>* src = &desc_->tile(i, j);
+        tile::Tile<U>* dst = &out.desc_->tile(i, j);
+        engine.submit(
+            [src, dst] {
+              if (src->format == tile::TileFormat::Full) {
+                dst->format = tile::TileFormat::Full;
+                dst->full.reset(src->m, src->n);
+                la::convert<U, T>(src->full.cview(), dst->full.view());
+                dst->h.reset();
+              } else {
+                hmat::detail::convert_into<U, T>(*src->h, *dst->h);
+              }
+            },
+            {rt::write(out.desc_->handle(i, j))}, 0, "convert");
+      }
+    }
+    engine.wait_all();
+    return out;
   }
 
   /// Densify in the ORIGINAL ordering (tests / small problems only).
@@ -314,17 +385,31 @@ class TileHMatrix {
         n_(static_cast<index_t>(points.size())),
         clustering_(cluster::build_ntiles_clustering(
             std::move(points), opts.tile_size, opts.clustering)) {
+    init_tiles(engine);
+  }
+
+  /// Skeleton over an already-built clustering (the cross-precision
+  /// conversion path): fresh handles, empty tile payloads.
+  TileHMatrix(rt::Engine& engine, cluster::TileClustering clustering,
+              const TileHOptions& opts)
+      : opts_(opts),
+        n_(clustering.tree.num_points()),
+        clustering_(std::move(clustering)) {
+    init_tiles(engine);
+  }
+
+  void init_tiles(rt::Engine& engine) {
     // The tile descriptor mirrors the NTilesRecursive partition: all tiles
     // have size NB except the trailing one.
     desc_ = std::make_unique<tile::TileDesc<T>>(engine, n_, n_,
-                                                opts.tile_size);
+                                                opts_.tile_size);
     HCHAM_CHECK(desc_->nt() == num_tiles());
     auto tree_ptr =
         std::make_shared<const cluster::ClusterTree>(clustering_.tree);
     for (index_t i = 0; i < num_tiles(); ++i) {
       for (index_t j = 0; j < num_tiles(); ++j) {
         tile::Tile<T>& t = desc_->tile(i, j);
-        if (opts.format == TileRepresentation::Dense) {
+        if (opts_.format == TileRepresentation::Dense) {
           t.format = tile::TileFormat::Full;
           continue;
         }
@@ -337,6 +422,9 @@ class TileHMatrix {
       }
     }
   }
+
+  template <typename U>
+  friend class TileHMatrix;
 
   TileHOptions opts_;
   index_t n_;

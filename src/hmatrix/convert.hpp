@@ -1,0 +1,67 @@
+// Precision conversion of H-matrices: rebuild an HMatrix<From> as an
+// HMatrix<To> with the identical block structure over the same (shared,
+// type-independent) cluster tree. Dense leaves convert entry-wise, Rk
+// leaves convert their U/V factors (the factored form is preserved — no
+// re-compression happens here), hierarchical nodes recurse.
+//
+// This is the structural half of the mixed-precision factorization path
+// (core/mixed.hpp): a TileHMatrix<double> demotes its tiles to float via
+// this walk, factorizes in fp32 under a (possibly looser) tolerance, and
+// iterative refinement against the fp64 operator recovers the digits.
+// Because the walk preserves the block structure bit-for-bit, the converted
+// matrix inherits the source's structure signature semantics: task graphs
+// are a function of structure only, never of the scalar type.
+#pragma once
+
+#include "hmatrix/hmatrix.hpp"
+#include "la/view.hpp"
+
+namespace hcham::hmat {
+
+namespace detail {
+
+template <typename To, typename From>
+void convert_into(const HMatrix<From>& src, HMatrix<To>& dst) {
+  switch (src.kind()) {
+    case HMatrix<From>::Kind::Full: {
+      la::Matrix<To> full(src.rows(), src.cols());
+      la::convert<To, From>(src.full().cview(), full.view());
+      dst.make_full(std::move(full));
+      return;
+    }
+    case HMatrix<From>::Kind::Rk: {
+      rk::RkMatrix<To> r(src.rows(), src.cols());
+      if (!src.rk().is_zero()) {
+        const index_t k = src.rk().rank();
+        la::Matrix<To> u(src.rows(), k), v(src.cols(), k);
+        la::convert<To, From>(src.rk().u().cview(), u.view());
+        la::convert<To, From>(src.rk().v().cview(), v.view());
+        r.set_factors(std::move(u), std::move(v));
+      }
+      dst.make_rk(std::move(r));
+      return;
+    }
+    case HMatrix<From>::Kind::Hierarchical: {
+      dst.make_hierarchical();
+      for (int i = 0; i < 2; ++i)
+        for (int j = 0; j < 2; ++j)
+          convert_into<To, From>(src.child(i, j), dst.child(i, j));
+      return;
+    }
+  }
+}
+
+}  // namespace detail
+
+/// Structure-preserving scalar conversion. `tree` must describe the same
+/// index partition as src's tree (typically a fresh shared_ptr to a copy of
+/// it, or the very same tree — ClusterTree is scalar-type-independent).
+template <typename To, typename From>
+HMatrix<To> convert_hmatrix(const HMatrix<From>& src,
+                            typename HMatrix<To>::TreePtr tree) {
+  HMatrix<To> dst(std::move(tree), src.row_node(), src.col_node());
+  detail::convert_into<To, From>(src, dst);
+  return dst;
+}
+
+}  // namespace hcham::hmat

@@ -4,9 +4,20 @@
 // These are the glue kernels of H-arithmetic: TRSM panel updates, Rk-factor
 // propagation in H-GEMM, and matrix-vector products (solve residuals, RHS
 // generation) all reduce to them.
+//
+// The block-tree walk COLLECTS the dense/Rk leaf contributions into a
+// batched leaf-kernel stream (la/batch.hpp) instead of executing them
+// inline; flush() then runs same-shape groups back to back. Every leaf
+// contribution is an independent accumulation into Y, so the grouped order
+// is as correct as the walk order (rounding-level differences only, and
+// deterministic — the stream order is a pure function of the block
+// structure). Callers that span several H-blocks (tile kernels, the Tile-H
+// matvec) can pass their own stream to matmat_stream/matmat_left_stream and
+// flush once, batching leaves ACROSS blocks.
 #pragma once
 
 #include "hmatrix/hmatrix.hpp"
+#include "la/batch.hpp"
 #include "la/gemm.hpp"
 
 namespace hcham::hmat {
@@ -18,46 +29,18 @@ void matmat(la::Op op, T alpha, const HMatrix<T>& h,
 namespace detail {
 
 template <typename T>
-void matmat_accumulate(la::Op op, T alpha, const HMatrix<T>& h,
-                       la::ConstMatrixView<T> x, la::MatrixView<T> y) {
+void matmat_collect(la::BatchStream<T>& stream, la::Op op, T alpha,
+                    const HMatrix<T>& h, la::ConstMatrixView<T> x,
+                    la::MatrixView<T> y) {
   const index_t q = x.cols();
   switch (h.kind()) {
     case HMatrix<T>::Kind::Full:
-      la::gemm(op, la::Op::NoTrans, alpha, h.full().cview(), x, T{1}, y);
+      stream.push_gemm(op, la::Op::NoTrans, alpha, h.full().cview(), x, y);
       return;
     case HMatrix<T>::Kind::Rk: {
       const auto& r = h.rk();
       if (r.is_zero()) return;
-      const index_t k = r.rank();
-      la::Matrix<T> tmp(k, q);
-      switch (op) {
-        case la::Op::NoTrans:
-          // y += alpha U (V^H x)
-          la::gemm(la::Op::ConjTrans, la::Op::NoTrans, T{1}, r.v().cview(), x,
-                   T{}, tmp.view());
-          la::gemm(la::Op::NoTrans, la::Op::NoTrans, alpha, r.u().cview(),
-                   tmp.cview(), T{1}, y);
-          return;
-        case la::Op::ConjTrans:
-          // (U V^H)^H = V U^H
-          la::gemm(la::Op::ConjTrans, la::Op::NoTrans, T{1}, r.u().cview(), x,
-                   T{}, tmp.view());
-          la::gemm(la::Op::NoTrans, la::Op::NoTrans, alpha, r.v().cview(),
-                   tmp.cview(), T{1}, y);
-          return;
-        case la::Op::Trans:
-          // (U V^H)^T = conj(V) U^T; apply conj(V) entry-wise.
-          la::gemm(la::Op::Trans, la::Op::NoTrans, T{1}, r.u().cview(), x,
-                   T{}, tmp.view());
-          for (index_t c = 0; c < q; ++c)
-            for (index_t i = 0; i < h.cols(); ++i) {
-              T acc{};
-              for (index_t l = 0; l < k; ++l)
-                acc += conj_if(r.v()(i, l)) * tmp(l, c);
-              y(i, c) += alpha * acc;
-            }
-          return;
-      }
+      stream.push_rk_apply(op, alpha, r.u().cview(), r.v().cview(), x, y);
       return;
     }
     case HMatrix<T>::Kind::Hierarchical: {
@@ -70,11 +53,13 @@ void matmat_accumulate(la::Op op, T alpha, const HMatrix<T>& h,
           const index_t ro = (i == 0) ? 0 : r0;
           const index_t co = (j == 0) ? 0 : c0;
           if (op == la::Op::NoTrans) {
-            matmat_accumulate(op, alpha, ch, x.block(co, 0, ch.cols(), q),
-                              y.block(ro, 0, ch.rows(), q));
+            matmat_collect(stream, op, alpha, ch,
+                           x.block(co, 0, ch.cols(), q),
+                           y.block(ro, 0, ch.rows(), q));
           } else {
-            matmat_accumulate(op, alpha, ch, x.block(ro, 0, ch.rows(), q),
-                              y.block(co, 0, ch.cols(), q));
+            matmat_collect(stream, op, alpha, ch,
+                           x.block(ro, 0, ch.rows(), q),
+                           y.block(co, 0, ch.cols(), q));
           }
         }
       }
@@ -85,6 +70,19 @@ void matmat_accumulate(la::Op op, T alpha, const HMatrix<T>& h,
 
 }  // namespace detail
 
+/// Accumulate alpha * op(H) * X into Y through a caller-owned stream; the
+/// caller flushes. Lets one stream batch leaves across many H-blocks.
+template <typename T>
+void matmat_stream(la::BatchStream<T>& stream, la::Op op, T alpha,
+                   const HMatrix<T>& h, la::ConstMatrixView<T> x,
+                   la::MatrixView<T> y) {
+  const index_t rows = (op == la::Op::NoTrans) ? h.rows() : h.cols();
+  const index_t inner = (op == la::Op::NoTrans) ? h.cols() : h.rows();
+  HCHAM_CHECK(x.rows() == inner && y.rows() == rows && x.cols() == y.cols());
+  if (alpha == T{}) return;
+  detail::matmat_collect(stream, op, alpha, h, x, y);
+}
+
 template <typename T>
 void matmat(la::Op op, T alpha, const HMatrix<T>& h,
             la::ConstMatrixView<T> x, T beta, la::MatrixView<T> y) {
@@ -93,7 +91,9 @@ void matmat(la::Op op, T alpha, const HMatrix<T>& h,
   HCHAM_CHECK(x.rows() == inner && y.rows() == rows && x.cols() == y.cols());
   la::scal(beta, y);
   if (alpha == T{}) return;
-  detail::matmat_accumulate(op, alpha, h, x, y);
+  la::BatchStream<T> stream;
+  detail::matmat_collect(stream, op, alpha, h, x, y);
+  stream.flush();
 }
 
 /// y += alpha * op(H) * x + beta * y on raw vectors.
@@ -114,23 +114,19 @@ void matmat_left(T alpha, la::ConstMatrixView<T> x, const HMatrix<T>& h,
 namespace detail {
 
 template <typename T>
-void matmat_left_accumulate(T alpha, la::ConstMatrixView<T> x,
-                            const HMatrix<T>& h, la::MatrixView<T> y) {
+void matmat_left_collect(la::BatchStream<T>& stream, T alpha,
+                         la::ConstMatrixView<T> x, const HMatrix<T>& h,
+                         la::MatrixView<T> y) {
   const index_t p = x.rows();
   switch (h.kind()) {
     case HMatrix<T>::Kind::Full:
-      la::gemm(la::Op::NoTrans, la::Op::NoTrans, alpha, x, h.full().cview(),
-               T{1}, y);
+      stream.push_gemm(la::Op::NoTrans, la::Op::NoTrans, alpha, x,
+                       h.full().cview(), y);
       return;
     case HMatrix<T>::Kind::Rk: {
       const auto& r = h.rk();
       if (r.is_zero()) return;
-      la::Matrix<T> tmp(p, r.rank());
-      // y += alpha (x U) V^H
-      la::gemm(la::Op::NoTrans, la::Op::NoTrans, T{1}, x, r.u().cview(), T{},
-               tmp.view());
-      la::gemm(la::Op::NoTrans, la::Op::ConjTrans, alpha, tmp.cview(),
-               r.v().cview(), T{1}, y);
+      stream.push_rk_apply_left(alpha, r.u().cview(), r.v().cview(), x, y);
       return;
     }
     case HMatrix<T>::Kind::Hierarchical: {
@@ -139,10 +135,9 @@ void matmat_left_accumulate(T alpha, la::ConstMatrixView<T> x,
       for (int i = 0; i < 2; ++i)
         for (int j = 0; j < 2; ++j) {
           const HMatrix<T>& ch = h.child(i, j);
-          matmat_left_accumulate(alpha,
-                                 x.block(0, i == 0 ? 0 : r0, p, ch.rows()),
-                                 ch,
-                                 y.block(0, j == 0 ? 0 : c0, p, ch.cols()));
+          matmat_left_collect(stream, alpha,
+                              x.block(0, i == 0 ? 0 : r0, p, ch.rows()), ch,
+                              y.block(0, j == 0 ? 0 : c0, p, ch.cols()));
         }
       return;
     }
@@ -151,6 +146,17 @@ void matmat_left_accumulate(T alpha, la::ConstMatrixView<T> x,
 
 }  // namespace detail
 
+/// Accumulate alpha * X * H into Y through a caller-owned stream.
+template <typename T>
+void matmat_left_stream(la::BatchStream<T>& stream, T alpha,
+                        la::ConstMatrixView<T> x, const HMatrix<T>& h,
+                        la::MatrixView<T> y) {
+  HCHAM_CHECK(x.cols() == h.rows() && y.cols() == h.cols() &&
+              x.rows() == y.rows());
+  if (alpha == T{}) return;
+  detail::matmat_left_collect(stream, alpha, x, h, y);
+}
+
 template <typename T>
 void matmat_left(T alpha, la::ConstMatrixView<T> x, const HMatrix<T>& h,
                  T beta, la::MatrixView<T> y) {
@@ -158,7 +164,9 @@ void matmat_left(T alpha, la::ConstMatrixView<T> x, const HMatrix<T>& h,
               x.rows() == y.rows());
   la::scal(beta, y);
   if (alpha == T{}) return;
-  detail::matmat_left_accumulate(alpha, x, h, y);
+  la::BatchStream<T> stream;
+  detail::matmat_left_collect(stream, alpha, x, h, y);
+  stream.flush();
 }
 
 }  // namespace hcham::hmat

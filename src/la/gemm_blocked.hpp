@@ -67,12 +67,17 @@ struct KernelTuning {
 inline const KernelTuning& kernel_tuning() {
   static const KernelTuning tuning = [] {
     KernelTuning t;
-    t.mc = std::max<index_t>(8, env_long("HCHAM_GEMM_MC", t.mc));
-    t.kc = std::max<index_t>(8, env_long("HCHAM_GEMM_KC", t.kc));
-    t.nc = std::max<index_t>(8, env_long("HCHAM_GEMM_NC", t.nc));
-    t.min_flops = env_long("HCHAM_GEMM_MIN_FLOPS", t.min_flops);
-    t.blas_nb = std::max<index_t>(8, env_long("HCHAM_BLAS_NB", t.blas_nb));
-    t.qr_nb = std::max<index_t>(4, env_long("HCHAM_QR_NB", t.qr_nb));
+    // Bounded reads: a hostile value (negative, zero, or absurdly large)
+    // degrades to the tuned default instead of driving the blocking loops
+    // into degenerate shapes.
+    constexpr long kMaxBlock = 1L << 24;
+    t.mc = env_long_bounded("HCHAM_GEMM_MC", t.mc, 8, kMaxBlock);
+    t.kc = env_long_bounded("HCHAM_GEMM_KC", t.kc, 8, kMaxBlock);
+    t.nc = env_long_bounded("HCHAM_GEMM_NC", t.nc, 8, kMaxBlock);
+    t.min_flops =
+        env_long_bounded("HCHAM_GEMM_MIN_FLOPS", t.min_flops, 0, 1L << 50);
+    t.blas_nb = env_long_bounded("HCHAM_BLAS_NB", t.blas_nb, 8, 1 << 16);
+    t.qr_nb = env_long_bounded("HCHAM_QR_NB", t.qr_nb, 4, 1 << 16);
     return t;
   }();
   return tuning;
@@ -250,6 +255,39 @@ inline void microkernel<double, 8, 6>(index_t kc,
     double* cj = c + j * ldc;
     _mm256_storeu_pd(cj, _mm256_add_pd(_mm256_loadu_pd(cj), acc[j][0]));
     _mm256_storeu_pd(cj + 4, _mm256_add_pd(_mm256_loadu_pd(cj + 4), acc[j][1]));
+  }
+}
+
+/// Matching 16x6 single-precision kernel (two 8-float vectors of rows);
+/// also carries the complex<float> 1m expansion, which runs through the
+/// real float microkernel. This is what makes fp32 factors (the
+/// mixed-precision path) run at twice the fp64 SIMD width.
+template <>
+inline void microkernel<float, 16, 6>(index_t kc,
+                                      const float* HCHAM_RESTRICT ap,
+                                      const float* HCHAM_RESTRICT bp,
+                                      float* HCHAM_RESTRICT c, index_t ldc) {
+  __m256 acc[6][2];
+  for (int j = 0; j < 6; ++j) {
+    acc[j][0] = _mm256_setzero_ps();
+    acc[j][1] = _mm256_setzero_ps();
+  }
+  for (index_t l = 0; l < kc; ++l) {
+    const __m256 a0 = _mm256_loadu_ps(ap);
+    const __m256 a1 = _mm256_loadu_ps(ap + 8);
+#pragma GCC unroll 6
+    for (int j = 0; j < 6; ++j) {
+      const __m256 b = _mm256_broadcast_ss(bp + j);
+      acc[j][0] = _mm256_fmadd_ps(a0, b, acc[j][0]);
+      acc[j][1] = _mm256_fmadd_ps(a1, b, acc[j][1]);
+    }
+    ap += 16;
+    bp += 6;
+  }
+  for (int j = 0; j < 6; ++j) {
+    float* cj = c + j * ldc;
+    _mm256_storeu_ps(cj, _mm256_add_ps(_mm256_loadu_ps(cj), acc[j][0]));
+    _mm256_storeu_ps(cj + 8, _mm256_add_ps(_mm256_loadu_ps(cj + 8), acc[j][1]));
   }
 }
 #endif

@@ -43,7 +43,11 @@ inline AccumulatorConfig& acc_config() {
   static AccumulatorConfig config = [] {
     AccumulatorConfig c;
     c.enabled = env_long("HCHAM_ACC_DISABLE", 0) == 0;
-    c.max_rank = std::max<index_t>(0, env_long("HCHAM_ACC_MAX_RANK", 0));
+    // Bounded: a negative or absurd budget degrades to 0 (= derive from
+    // the truncation params) instead of starving or flooding the pending
+    // tails.
+    c.max_rank = static_cast<index_t>(
+        env_long_bounded("HCHAM_ACC_MAX_RANK", 0, 0, 1L << 20));
     return c;
   }();
   return config;

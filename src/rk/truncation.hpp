@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/counters.hpp"
+#include "la/batch.hpp"
 #include "la/qr.hpp"
 #include "la/svd.hpp"
 #include "la/workspace.hpp"
@@ -56,8 +57,15 @@ index_t truncate(RkMatrix<T>& a, const TruncationParams& params) {
   la::MatrixView<T> ru = ws.matrix<T>(ku, k);
   la::MatrixView<T> qv = ws.matrix<T>(n, kv);
   la::MatrixView<T> rv = ws.matrix<T>(kv, k);
-  la::qr_thin_ws<T>(a.u().cview(), qu, ru);
-  la::qr_thin_ws<T>(a.v().cview(), qv, rv);
+  // The U- and V-factor QRs are independent: collect both as descriptors
+  // and run them as one bucket (la/batch.hpp) — the hook a batched QR
+  // backend slots into.
+  {
+    la::QrStream<T> qrs;
+    qrs.push(a.u().cview(), qu, ru);
+    qrs.push(a.v().cview(), qv, rv);
+    qrs.flush();
+  }
 
   // Core = Ru * Rv^H (ku x kv), then its SVD.
   la::MatrixView<T> core = ws.matrix<T>(ku, kv);
@@ -115,8 +123,12 @@ index_t compact_tail(RkMatrix<T>& c, index_t from,
   la::MatrixView<T> ru = ws.matrix<T>(ku, kp);
   la::MatrixView<T> qv = ws.matrix<T>(n, kv);
   la::MatrixView<T> rv = ws.matrix<T>(kv, kp);
-  la::qr_thin_ws<T>(c.u().cview().block(0, from, m, kp), qu, ru);
-  la::qr_thin_ws<T>(c.v().cview().block(0, from, n, kp), qv, rv);
+  {
+    la::QrStream<T> qrs;
+    qrs.push(c.u().cview().block(0, from, m, kp), qu, ru);
+    qrs.push(c.v().cview().block(0, from, n, kp), qv, rv);
+    qrs.flush();
+  }
 
   la::MatrixView<T> core = ws.matrix<T>(ku, kv);
   la::gemm(la::Op::NoTrans, la::Op::ConjTrans, T{1}, la::ConstMatrixView<T>(ru),

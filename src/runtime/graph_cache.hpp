@@ -155,8 +155,8 @@ class GraphCache {
   explicit GraphCache(index_t capacity = -1)
       : capacity_(capacity >= 0
                       ? capacity
-                      : static_cast<index_t>(std::max(
-                            0L, env_long("HCHAM_GRAPH_CACHE_MAX", 32)))) {}
+                      : static_cast<index_t>(env_long_bounded(
+                            "HCHAM_GRAPH_CACHE_MAX", 32, 0, 1L << 20))) {}
 
   GraphCache(const GraphCache&) = delete;
   GraphCache& operator=(const GraphCache&) = delete;

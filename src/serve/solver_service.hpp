@@ -25,6 +25,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/mixed.hpp"
 #include "core/refinement.hpp"
 #include "core/tile_h.hpp"
 #include "serve/request_queue.hpp"
@@ -69,8 +70,20 @@ struct SessionOptions {
   rt::SchedulerPolicy policy = rt::SchedulerPolicy::Priority;
   bool cholesky = false;
   int refine_iters = 0;       ///< 0: plain solve, no residual reporting
-  double target_residual = 1e-12;
+  /// Refinement convergence target; <= 0 lets core::solve_refined derive
+  /// one scaled to eps(real_t<T>) and the operator norm (the old fixed
+  /// 1e-12 default was unreachable for T = float and burned max_iters
+  /// sweeps every solve).
+  double target_residual = 0.0;
   index_t panel_width = 0;    ///< 0: auto from worker count
+  /// Mixed-precision factorization (core/mixed.hpp): defaults from
+  /// HCHAM_FACTOR_PRECISION / HCHAM_FACTOR_EPS. With precision = Single
+  /// the session assembles the operator once in T, demotes a copy to
+  /// demoted_t<T> (under factor.eps if set), factorizes THAT, and serves
+  /// every solve through iterative refinement against the T operator
+  /// (refine_iters is raised to at least 3). A no-op when T is already
+  /// single precision.
+  core::FactorOptions factor = core::FactorOptions::from_env();
   /// Capture/replay the factorization and solve task graphs through the
   /// structure-keyed graph cache (DESIGN.md section 10). Repeated solves
   /// against the same structure skip STF dependency inference entirely.
@@ -93,6 +106,27 @@ class Session {
                        const core::TileHOptions& hopts,
                        const SessionOptions& opts) {
     Session s(opts);
+    if constexpr (!std::is_same_v<T, demoted_t<T>>) {
+      if (opts.factor.mixed()) {
+        // Mixed path: assemble ONCE in T (it doubles as the refinement
+        // operator), demote a structural copy, factorize the demoted one.
+        // Refinement is mandatory — the fp32 factors are a preconditioner,
+        // not an answer.
+        s.opts_.refine_iters = std::max(opts.refine_iters, 3);
+        s.op_ = std::make_unique<core::TileHMatrix<T>>(
+            core::TileHMatrix<T>::build(*s.engine_, std::move(points), gen,
+                                        hopts));
+        s.factored_lo_ = std::make_unique<core::TileHMatrix<demoted_t<T>>>(
+            s.op_->template convert_to<demoted_t<T>>(*s.engine_,
+                                                     opts.factor.eps));
+        if (opts.cholesky) {
+          s.factored_lo_->factorize_cholesky(*s.engine_, s.cache());
+        } else {
+          s.factored_lo_->factorize(*s.engine_, s.cache());
+        }
+        return s;
+      }
+    }
     s.factored_ = std::make_unique<core::TileHMatrix<T>>(
         core::TileHMatrix<T>::build(*s.engine_, points, gen, hopts));
     if (opts.refine_iters > 0) {
@@ -109,8 +143,14 @@ class Session {
   }
 
   /// Solve A X = B in place on the session engine; refines when the
-  /// session was built with refine_iters > 0.
+  /// session was built with refine_iters > 0 or factors in demoted
+  /// precision.
   core::RefinementResult solve_now(la::MatrixView<T> b) {
+    if (factored_lo_) {
+      return core::solve_refined(*factored_lo_, *op_, *engine_, b,
+                                 opts_.refine_iters, opts_.target_residual,
+                                 opts_.cholesky, opts_.panel_width, cache());
+    }
     if (op_) {
       return core::solve_refined(*factored_, *op_, *engine_, b,
                                  opts_.refine_iters, opts_.target_residual,
@@ -124,7 +164,11 @@ class Session {
     return core::RefinementResult{};
   }
 
-  index_t size() const { return factored_->size(); }
+  index_t size() const {
+    return factored_ ? factored_->size() : op_->size();
+  }
+  /// True when this session serves through demoted-precision factors.
+  bool mixed_precision() const { return factored_lo_ != nullptr; }
   rt::Engine& engine() { return *engine_; }
   const SessionOptions& options() const { return opts_; }
 
@@ -145,6 +189,8 @@ class Session {
   std::unique_ptr<rt::Engine> engine_;
   std::unique_ptr<core::TileHMatrix<T>> factored_;
   std::unique_ptr<core::TileHMatrix<T>> op_;  ///< unfactorized, for refinement
+  /// Demoted-precision factors (mixed path); factored_ stays null then.
+  std::unique_ptr<core::TileHMatrix<demoted_t<T>>> factored_lo_;
 };
 
 struct ServiceOptions {
@@ -193,6 +239,10 @@ class SolverService {
                                       : Clock::time_point::max();
     std::future<SolveReply<T>> fut = r.promise.get_future();
     const PushResult pr = queue_.push(r, opts_.enqueue_timeout);
+    // Sample the depth gauge at the push/reject points too — the queue is
+    // at its fullest right here, so a gauge updated only at batch pops
+    // systematically under-reports the peak.
+    stats_.queue_depth(queue_.size());
     if (pr == PushResult::Full) {
       stats_.on_reject();
       SolveReply<T> rep;
@@ -209,14 +259,14 @@ class SolverService {
   }
 
   StatsSnapshot stats() const {
-    StatsSnapshot s = stats_.snapshot();
     // The session engine's capture/replay tallies are per-session graph
-    // activity (each Session owns its engine), folded into the snapshot so
-    // clients see cache effectiveness alongside the queue counters.
+    // activity (each Session owns its engine). Recording them into the hub
+    // before snapshotting keeps plain stats_.snapshot() consistent with
+    // this accessor (they used to be patched on here only).
     const rt::Engine::ReplayStats rs = session_.engine().replay_stats();
-    s.graph_captured = rs.captured;
-    s.graph_replayed = rs.replayed;
-    return s;
+    stats_.record_graph(rs.captured, rs.replayed);
+    stats_.set_mixed_precision(session_.mixed_precision());
+    return stats_.snapshot();
   }
   std::string stats_json() const { return to_json(stats()); }
   index_t queue_size() const { return queue_.size(); }
@@ -311,7 +361,9 @@ class SolverService {
 
   Session<T>& session_;
   ServiceOptions opts_;
-  ServiceStats stats_;
+  // mutable: stats() is logically const but folds engine replay tallies
+  // into the (internally synchronized) hub before snapshotting.
+  mutable ServiceStats stats_;
   BoundedRequestQueue<Request> queue_;
   std::thread thread_;
 };

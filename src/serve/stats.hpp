@@ -68,8 +68,11 @@ struct StatsSnapshot {
   std::uint64_t completed = 0;      ///< successful replies
   std::uint64_t batches = 0;        ///< multi-RHS solves executed
   std::uint64_t solved_columns = 0; ///< total RHS columns across batches
-  index_t queue_depth = 0;          ///< gauge: depth after the last batch pop
-  index_t queue_peak = 0;           ///< max observed depth
+  index_t queue_depth = 0;          ///< gauge: depth at the last sample point
+  index_t queue_peak = 0;           ///< max depth over ALL sample points
+  /// True when the serving session factors in demoted precision
+  /// (core::FactorPrecision::Single) and recovers digits via refinement.
+  bool mixed_precision = false;
   /// Graph-cache activity on the session engine (epochs captured into /
   /// replayed from the structure-keyed cache; see DESIGN.md section 10).
   std::uint64_t graph_captured = 0;
@@ -114,10 +117,26 @@ class ServiceStats {
     ++batches_;
     solved_columns_ += static_cast<std::uint64_t>(cols);
   }
+  /// Queue-depth gauge. Sampled by the service on every push, every
+  /// rejection, and every batch pop — the peak therefore sees the queue at
+  /// its fullest (right after a push / at the full-queue rejection), not
+  /// only at the post-pop trough as in earlier revisions.
   void queue_depth(index_t depth) {
     std::lock_guard<std::mutex> lk(mu_);
     depth_ = depth;
     peak_ = std::max(peak_, depth);
+  }
+  /// Fold the session engine's graph-cache tallies into this hub so plain
+  /// snapshot() carries them (they used to be patched onto the snapshot by
+  /// SolverService::stats() only, leaving snapshot() asymmetric).
+  void record_graph(std::uint64_t captured, std::uint64_t replayed) {
+    std::lock_guard<std::mutex> lk(mu_);
+    graph_captured_ = captured;
+    graph_replayed_ = replayed;
+  }
+  void set_mixed_precision(bool mixed) {
+    std::lock_guard<std::mutex> lk(mu_);
+    mixed_ = mixed;
   }
 
   StatsSnapshot snapshot() const {
@@ -132,6 +151,9 @@ class ServiceStats {
     s.solved_columns = solved_columns_;
     s.queue_depth = depth_;
     s.queue_peak = peak_;
+    s.graph_captured = graph_captured_;
+    s.graph_replayed = graph_replayed_;
+    s.mixed_precision = mixed_;
     s.p50_s = hist_.quantile(0.50);
     s.p95_s = hist_.quantile(0.95);
     s.p99_s = hist_.quantile(0.99);
@@ -149,6 +171,9 @@ class ServiceStats {
   std::uint64_t solved_columns_ = 0;
   index_t depth_ = 0;
   index_t peak_ = 0;
+  std::uint64_t graph_captured_ = 0;
+  std::uint64_t graph_replayed_ = 0;
+  bool mixed_ = false;
   LatencyHistogram hist_;
 };
 
@@ -164,6 +189,7 @@ inline std::string to_json(const StatsSnapshot& s) {
      << ",\"peak\":" << s.queue_peak << "}"
      << ",\"graph\":{\"captured\":" << s.graph_captured
      << ",\"replayed\":" << s.graph_replayed << "}"
+     << ",\"mixed_precision\":" << (s.mixed_precision ? "true" : "false")
      << ",\"latency_s\":{\"p50\":" << s.p50_s << ",\"p95\":" << s.p95_s
      << ",\"p99\":" << s.p99_s << "}}";
   return os.str();

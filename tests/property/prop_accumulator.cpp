@@ -151,6 +151,11 @@ TEST(Accumulator, MatchesEagerWithinToleranceComplex) {
     check_accumulate_vs_eager<std::complex<double>>(seed, 1e-6);
 }
 
+TEST(Accumulator, MatchesEagerWithinToleranceComplexFloat) {
+  for (const std::uint64_t seed : {11u, 23u, 37u})
+    check_accumulate_vs_eager<std::complex<float>>(seed, 1e-3);
+}
+
 class AccumulatorLu : public ::testing::TestWithParam<Sweep> {};
 
 /// Tile-H LU with the accumulator on (the default) must stay bit-identical

@@ -141,6 +141,14 @@ TEST_P(GemmDispatchEquivalence, ComplexDouble) {
   }
 }
 
+TEST_P(GemmDispatchEquivalence, ComplexFloat) {
+  Rng rng(GetParam().seed);
+  for (int rep = 0; rep < 6; ++rep) {
+    check_with_shrink(GetParam(), GemmConfig::draw(rng, GetParam().seed),
+                      gemm_matches_reference<std::complex<float>>);
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Sweep, GemmDispatchEquivalence,
                          ::testing::ValuesIn(gemm_sweep()), sweep_name);
 

@@ -1,0 +1,144 @@
+// Property: the mixed-precision factorization path (fp32 factors under a
+// looser tolerance + iterative refinement against the fp64 operator,
+// DESIGN.md section 12) recovers fp64-level forward error within a small
+// sweep budget, across scheduler policies and worker counts, and keeps
+// doing so when the solve graph is served from the structure-keyed graph
+// cache (second solve = replay). The fp32 factor path exercises the float
+// microkernels, the batched leaf streams, and the precision-converted tile
+// structures end to end.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "bem/testcase.hpp"
+#include "core/hchameleon.hpp"
+#include "prop_utils.hpp"
+#include "runtime/graph_cache.hpp"
+
+namespace hcham {
+namespace {
+
+using bem::FemBemProblem;
+using core::TileHMatrix;
+using core::TileHOptions;
+using rt::Engine;
+using hcham::testing::prop::check_with_shrink;
+using hcham::testing::prop::ProblemConfig;
+using hcham::testing::prop::Sweep;
+using hcham::testing::prop::sweep_name;
+
+/// policies x {1, 2, 4, 8} workers; one seed keeps the sweep affordable
+/// (each point builds and factorizes two operators).
+std::vector<Sweep> mixed_sweep() {
+  std::vector<Sweep> out;
+  for (const rt::SchedulerPolicy p :
+       {rt::SchedulerPolicy::WorkStealing,
+        rt::SchedulerPolicy::LocalityWorkStealing,
+        rt::SchedulerPolicy::Priority})
+    for (const int w : {1, 2, 4, 8}) out.push_back(Sweep{61, p, w});
+  return out;
+}
+
+template <typename T>
+double forward_error(const la::Matrix<T>& x, const la::Matrix<T>& x0) {
+  la::Matrix<T> d = la::Matrix<T>::from_view(x.cview());
+  la::axpy(T{-1}, x0.cview(), d.view());
+  const double n0 = static_cast<double>(la::norm_fro(x0.cview()));
+  return static_cast<double>(la::norm_fro(d.cview())) / std::max(1.0, n0);
+}
+
+class MixedPrecisionLu : public ::testing::TestWithParam<Sweep> {};
+
+TEST_P(MixedPrecisionLu, Fp32FactorsRecoverFp64AccuracyAcrossSchedules) {
+  const Sweep sw = GetParam();
+  Rng rng(sw.seed);
+  check_with_shrink(
+      sw, ProblemConfig::draw(rng),
+      [&sw](const ProblemConfig& c) -> std::optional<std::string> {
+        try {
+          FemBemProblem<double> problem(c.n, 1.0, c.height);
+          auto gen = [&problem](index_t i, index_t j) {
+            return problem.entry(i, j);
+          };
+          TileHOptions opts;
+          opts.tile_size = c.tile_size;
+          opts.clustering.leaf_size = c.leaf_size;
+          opts.hmatrix.compression.eps = c.eps;
+
+          Engine eng({.num_workers = sw.workers, .policy = sw.policy});
+          auto op =
+              TileHMatrix<double>::build(eng, problem.points(), gen, opts);
+
+          la::Matrix<double> x0 = la::Matrix<double>::random(c.n, 2, sw.seed);
+          la::Matrix<double> b(c.n, 2);
+          for (index_t col = 0; col < 2; ++col) {
+            std::vector<double> y(static_cast<std::size_t>(c.n), 0.0);
+            op.matvec(1.0, x0.view().col(col), 0.0, y.data());
+            la::unpack_column(y.data(), b.view(), col);
+          }
+
+          // Native fp64 baseline.
+          auto native =
+              TileHMatrix<double>::build(eng, problem.points(), gen, opts);
+          native.factorize(eng);
+          la::Matrix<double> xd = la::Matrix<double>::from_view(b.cview());
+          auto rr64 = core::solve_refined(native, op, eng, xd.view(),
+                                          /*max_iters=*/3,
+                                          /*target_residual=*/1e-12);
+          const double err64 = forward_error(xd, x0);
+
+          // fp32 factors at a 100x looser tolerance + promoted refinement,
+          // with the solve graph cached so the second solve is a replay.
+          rt::GraphCache cache;
+          auto lo = op.template convert_to<float>(eng, 100.0 * c.eps);
+          lo.factorize(eng, &cache);
+          la::Matrix<double> xm = la::Matrix<double>::from_view(b.cview());
+          auto rrm = core::solve_refined(lo, op, eng, xm.view(),
+                                         /*max_iters=*/3,
+                                         /*target_residual=*/1e-12,
+                                         /*cholesky=*/false,
+                                         /*panel_width=*/0, &cache);
+          const double errm = forward_error(xm, x0);
+
+          la::Matrix<double> xm2 = la::Matrix<double>::from_view(b.cview());
+          auto rrm2 = core::solve_refined(lo, op, eng, xm2.view(),
+                                          /*max_iters=*/3,
+                                          /*target_residual=*/1e-12,
+                                          /*cholesky=*/false,
+                                          /*panel_width=*/0, &cache);
+          const double errm2 = forward_error(xm2, x0);
+
+          const double bound = std::max(10.0 * err64, 1e-9);
+          std::ostringstream s;
+          if (rrm.iterations > 3) {
+            s << "mixed refinement took " << rrm.iterations << " sweeps";
+            return s.str();
+          }
+          if (errm > bound) {
+            s << "mixed forward error " << errm << " exceeds bound " << bound
+              << " (fp64 " << err64 << ", residual " << rrm.final_residual
+              << ")";
+            return s.str();
+          }
+          if (errm2 > bound) {
+            s << "replayed mixed solve degraded: " << errm2 << " vs bound "
+              << bound << " (first solve " << errm << ")";
+            return s.str();
+          }
+          (void)rr64;
+          (void)rrm2;
+          return std::nullopt;
+        } catch (const std::exception& e) {
+          return std::string("exception: ") + e.what();
+        }
+      });
+}
+
+INSTANTIATE_TEST_SUITE_P(Prop, MixedPrecisionLu,
+                         ::testing::ValuesIn(mixed_sweep()), sweep_name);
+
+}  // namespace
+}  // namespace hcham
