@@ -81,6 +81,68 @@ ClusterTree ClusterTree::build(std::vector<Point3> points,
   return t;
 }
 
+ClusterTree ClusterTree::from_parts(std::vector<Point3> points,
+                                    std::vector<index_t> perm,
+                                    std::vector<Node> nodes) {
+  const index_t n = static_cast<index_t>(points.size());
+  HCHAM_CHECK_MSG(static_cast<index_t>(perm.size()) == n,
+                  "cluster tree: permutation size does not match point count");
+  HCHAM_CHECK_MSG(!nodes.empty() || n == 0,
+                  "cluster tree: non-empty point set without nodes");
+  std::vector<bool> seen(static_cast<std::size_t>(n), false);
+  for (const index_t p : perm) {
+    HCHAM_CHECK_MSG(p >= 0 && p < n && !seen[static_cast<std::size_t>(p)],
+                    "cluster tree: perm is not a permutation of 0..n-1");
+    seen[static_cast<std::size_t>(p)] = true;
+  }
+  const index_t num_nodes = static_cast<index_t>(nodes.size());
+  if (num_nodes > 0) {
+    HCHAM_CHECK_MSG(nodes[0].offset == 0 && nodes[0].size == n,
+                    "cluster tree: root node does not cover [0, n)");
+  }
+  for (index_t i = 0; i < num_nodes; ++i) {
+    Node& nd = nodes[static_cast<std::size_t>(i)];
+    HCHAM_CHECK_MSG(nd.offset >= 0 && nd.size >= 0 &&
+                        nd.offset + nd.size <= n,
+                    "cluster tree: node range out of bounds");
+    nd.parent = -1;  // recomputed from the child links below
+    if (nd.child[0] < 0 && nd.child[1] < 0) continue;
+    // Children always come in pairs, appear after their parent (the build
+    // order add_node preserves), and partition the parent's range exactly.
+    HCHAM_CHECK_MSG(nd.child[0] > i && nd.child[0] < num_nodes &&
+                        nd.child[1] > i && nd.child[1] < num_nodes &&
+                        nd.child[0] != nd.child[1],
+                    "cluster tree: invalid child links");
+    const Node& c0 = nodes[static_cast<std::size_t>(nd.child[0])];
+    const Node& c1 = nodes[static_cast<std::size_t>(nd.child[1])];
+    HCHAM_CHECK_MSG(c0.offset == nd.offset && c1.offset == c0.offset + c0.size &&
+                        c0.size + c1.size == nd.size,
+                    "cluster tree: children do not partition the parent");
+  }
+  // Recompute parents and check each non-root node is referenced exactly once.
+  std::vector<int> referenced(static_cast<std::size_t>(num_nodes), 0);
+  for (index_t i = 0; i < num_nodes; ++i) {
+    const Node& nd = nodes[static_cast<std::size_t>(i)];
+    for (int c = 0; c < 2; ++c) {
+      if (nd.child[c] < 0) continue;
+      nodes[static_cast<std::size_t>(nd.child[c])].parent = i;
+      ++referenced[static_cast<std::size_t>(nd.child[c])];
+    }
+  }
+  for (index_t i = 1; i < num_nodes; ++i)
+    HCHAM_CHECK_MSG(referenced[static_cast<std::size_t>(i)] == 1,
+                    "cluster tree: dangling or multiply-referenced node");
+  ClusterTree t;
+  t.points_ = std::move(points);
+  t.perm_ = std::move(perm);
+  t.nodes_ = std::move(nodes);
+  for (index_t i = 0; i < num_nodes; ++i)
+    t.nodes_[static_cast<std::size_t>(i)].box =
+        t.compute_box(t.nodes_[static_cast<std::size_t>(i)].offset,
+                      t.nodes_[static_cast<std::size_t>(i)].size);
+  return t;
+}
+
 index_t ClusterTree::depth() const {
   if (nodes_.empty()) return 0;
   // Iterative DFS to avoid recursion on pathological trees.

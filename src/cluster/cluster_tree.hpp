@@ -45,6 +45,18 @@ class ClusterTree {
   static ClusterTree build(std::vector<Point3> points,
                            const ClusteringOptions& opts);
 
+  /// Reassemble a tree from serialized parts (the factor-store loader).
+  /// `nodes` need only carry (offset, size, child[2]); parents and bounding
+  /// boxes are recomputed here rather than trusted from disk. Every
+  /// structural invariant is validated — perm must be a permutation of
+  /// 0..n-1, node 0 must be the root covering [0, n), and each subdivided
+  /// node's children must exactly partition its range — so a corrupted or
+  /// hand-edited file fails with a clean Error instead of producing a tree
+  /// the H-arithmetic would walk out of bounds.
+  static ClusterTree from_parts(std::vector<Point3> points,
+                                std::vector<index_t> perm,
+                                std::vector<Node> nodes);
+
   index_t num_points() const { return static_cast<index_t>(perm_.size()); }
   index_t num_nodes() const { return static_cast<index_t>(nodes_.size()); }
   index_t root() const { return 0; }

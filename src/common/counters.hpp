@@ -178,4 +178,79 @@ inline void reset_runtime_counters() {
   c.nested_steals.store(0, std::memory_order_relaxed);
 }
 
+/// Process-wide tallies for the operator lifecycle layer (DESIGN.md
+/// section 13): Woodbury update/solve/rebase activity, factor-store
+/// traffic, and session-cache hit/miss/eviction/spill events. Same contract
+/// as the other counter blocks: relaxed monotone tallies, read at quiescent
+/// points only.
+struct LifecycleCounters {
+  std::atomic<std::uint64_t> woodbury_updates{0};  ///< rank-k deltas absorbed
+  std::atomic<std::uint64_t> woodbury_solves{0};   ///< updated-operator solves
+  std::atomic<std::uint64_t> woodbury_prepares{0};  ///< A^-1 U + capacitance
+  std::atomic<std::uint64_t> woodbury_rebases{0};  ///< delta folded + refactor
+  std::atomic<std::uint64_t> factor_saves{0};      ///< store files written
+  std::atomic<std::uint64_t> factor_loads{0};      ///< mmap cold-starts
+  std::atomic<std::uint64_t> cache_hits{0};
+  std::atomic<std::uint64_t> cache_misses{0};
+  std::atomic<std::uint64_t> cache_evictions{0};
+  std::atomic<std::uint64_t> cache_spills{0};        ///< evicted to disk
+  std::atomic<std::uint64_t> cache_spill_reloads{0};  ///< restored from disk
+
+  void bump(std::atomic<std::uint64_t>& c) {
+    c.fetch_add(1, std::memory_order_relaxed);
+  }
+};
+
+inline LifecycleCounters& lifecycle_counters() {
+  static LifecycleCounters counters;
+  return counters;
+}
+
+struct LifecycleCounterSnapshot {
+  std::uint64_t woodbury_updates = 0;
+  std::uint64_t woodbury_solves = 0;
+  std::uint64_t woodbury_prepares = 0;
+  std::uint64_t woodbury_rebases = 0;
+  std::uint64_t factor_saves = 0;
+  std::uint64_t factor_loads = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t cache_spills = 0;
+  std::uint64_t cache_spill_reloads = 0;
+};
+
+inline LifecycleCounterSnapshot snapshot_lifecycle_counters() {
+  const LifecycleCounters& c = lifecycle_counters();
+  LifecycleCounterSnapshot s;
+  s.woodbury_updates = c.woodbury_updates.load(std::memory_order_relaxed);
+  s.woodbury_solves = c.woodbury_solves.load(std::memory_order_relaxed);
+  s.woodbury_prepares = c.woodbury_prepares.load(std::memory_order_relaxed);
+  s.woodbury_rebases = c.woodbury_rebases.load(std::memory_order_relaxed);
+  s.factor_saves = c.factor_saves.load(std::memory_order_relaxed);
+  s.factor_loads = c.factor_loads.load(std::memory_order_relaxed);
+  s.cache_hits = c.cache_hits.load(std::memory_order_relaxed);
+  s.cache_misses = c.cache_misses.load(std::memory_order_relaxed);
+  s.cache_evictions = c.cache_evictions.load(std::memory_order_relaxed);
+  s.cache_spills = c.cache_spills.load(std::memory_order_relaxed);
+  s.cache_spill_reloads =
+      c.cache_spill_reloads.load(std::memory_order_relaxed);
+  return s;
+}
+
+inline void reset_lifecycle_counters() {
+  LifecycleCounters& c = lifecycle_counters();
+  c.woodbury_updates.store(0, std::memory_order_relaxed);
+  c.woodbury_solves.store(0, std::memory_order_relaxed);
+  c.woodbury_prepares.store(0, std::memory_order_relaxed);
+  c.woodbury_rebases.store(0, std::memory_order_relaxed);
+  c.factor_saves.store(0, std::memory_order_relaxed);
+  c.factor_loads.store(0, std::memory_order_relaxed);
+  c.cache_hits.store(0, std::memory_order_relaxed);
+  c.cache_misses.store(0, std::memory_order_relaxed);
+  c.cache_evictions.store(0, std::memory_order_relaxed);
+  c.cache_spills.store(0, std::memory_order_relaxed);
+  c.cache_spill_reloads.store(0, std::memory_order_relaxed);
+}
+
 }  // namespace hcham

@@ -103,11 +103,23 @@ class TileHMatrix {
     return m;
   }
 
+  /// Structural skeleton over an existing clustering: fresh runtime
+  /// handles, per-tile H-roots allocated, payloads empty. The factor-store
+  /// loader (lifecycle/factor_store.hpp) builds one of these and fills the
+  /// tiles from the mapped payload; the lifecycle rebase path uses it to
+  /// re-home tiles built on a background engine onto the serving engine.
+  static TileHMatrix skeleton(rt::Engine& engine,
+                              cluster::TileClustering clustering,
+                              const TileHOptions& opts) {
+    return TileHMatrix(engine, std::move(clustering), opts);
+  }
+
   index_t size() const { return n_; }
   index_t num_tiles() const {
     return static_cast<index_t>(clustering_.tile_roots.size());
   }
   index_t tile_size() const { return opts_.tile_size; }
+  const cluster::TileClustering& clustering() const { return clustering_; }
 
   tile::TileDesc<T>& desc() { return *desc_; }
   const tile::TileDesc<T>& desc() const { return *desc_; }

@@ -1,15 +1,86 @@
-// Structure rendering for H-matrices: the ASCII analogue of the paper's
-// Fig. 3 (rank map: dense blocks vs low-rank blocks with their ranks).
+// Structure rendering for H-matrices (the ASCII analogue of the paper's
+// Fig. 3 rank map) plus the binary payload streaming used by the factor
+// store (lifecycle/factor_store.hpp): a pre-order walk of the block tree
+// writing one tagged record per node, and the inverse walk that re-types an
+// existing structural skeleton from such a stream.
 #pragma once
 
 #include <algorithm>
+#include <cstdint>
 #include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "hmatrix/hmatrix.hpp"
 
 namespace hcham::hmat {
+
+// --- binary payload streaming ----------------------------------------------
+//
+// The Sink/Cursor types are supplied by the caller (the factor store uses a
+// checksummed growable buffer and a bounds-checked mmap cursor). Required
+// interface: put_u32/put_i64 and put_scalars(ptr, count) on the sink;
+// u32()/i64() and scalars(dst, count) on the cursor. Scalar runs are
+// 64-byte aligned by the sink/cursor themselves so the two stay in lockstep.
+
+inline constexpr std::uint32_t kPayloadFull = 0x46554c4cu;  // "FULL"
+inline constexpr std::uint32_t kPayloadRk = 0x524b4d54u;    // "RKMT"
+inline constexpr std::uint32_t kPayloadHier = 0x48494552u;  // "HIER"
+
+template <typename T, typename Sink>
+void write_payload(const HMatrix<T>& h, Sink& sink) {
+  switch (h.kind()) {
+    case HMatrix<T>::Kind::Full:
+      sink.put_u32(kPayloadFull);
+      sink.put_scalars(h.full().data(), h.rows() * h.cols());
+      return;
+    case HMatrix<T>::Kind::Rk: {
+      const rk::RkMatrix<T>& r = h.rk();
+      sink.put_u32(kPayloadRk);
+      sink.put_i64(r.rank());
+      sink.put_scalars(r.u().data(), h.rows() * r.rank());
+      sink.put_scalars(r.v().data(), h.cols() * r.rank());
+      return;
+    }
+    case HMatrix<T>::Kind::Hierarchical:
+      sink.put_u32(kPayloadHier);
+      for (int i = 0; i < 2; ++i)
+        for (int j = 0; j < 2; ++j) write_payload(h.child(i, j), sink);
+      return;
+  }
+}
+
+/// Inverse of write_payload over a structural skeleton node: the (row, col)
+/// cluster pair is already bound, only the kind and payload come from the
+/// stream. Every record is validated against the node's shape before any
+/// allocation sized from file data.
+template <typename T, typename Cursor>
+void read_payload(HMatrix<T>& h, Cursor& cur) {
+  const std::uint32_t tag = cur.u32();
+  if (tag == kPayloadFull) {
+    la::Matrix<T> d(h.rows(), h.cols());
+    cur.scalars(d.data(), h.rows() * h.cols());
+    h.make_full(std::move(d));
+  } else if (tag == kPayloadRk) {
+    const index_t k = cur.i64();
+    HCHAM_CHECK_MSG(k >= 0 && k <= std::max(h.rows(), h.cols()),
+                    "factor payload: Rk rank out of range for its block");
+    la::Matrix<T> u(h.rows(), k);
+    la::Matrix<T> v(h.cols(), k);
+    cur.scalars(u.data(), h.rows() * k);
+    cur.scalars(v.data(), h.cols() * k);
+    h.make_rk(rk::RkMatrix<T>(std::move(u), std::move(v)));
+  } else if (tag == kPayloadHier) {
+    HCHAM_CHECK_MSG(!h.row_cluster().is_leaf() && !h.col_cluster().is_leaf(),
+                    "factor payload: subdivision below a cluster leaf");
+    h.make_hierarchical();
+    for (int i = 0; i < 2; ++i)
+      for (int j = 0; j < 2; ++j) read_payload(h.child(i, j), cur);
+  } else {
+    throw Error("factor payload: unknown node tag");
+  }
+}
 
 namespace detail {
 

@@ -3,6 +3,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/scalar.hpp"
 #include "la/view.hpp"
@@ -51,6 +52,24 @@ T dotc(index_t n, const T* x, const T* y) {
   T acc{};
   for (index_t i = 0; i < n; ++i) acc += conj_if(x[i]) * y[i];
   return acc;
+}
+
+/// (min, max) of |a_ii| over the leading square of `a`. The spread is a
+/// cheap growth-factor proxy on a triangular factor: after a pivoted LU,
+/// min|u_ii| / max|u_ii| collapsing toward eps flags near-singularity
+/// without a condition estimator (the lifecycle capacitance check).
+template <typename T>
+std::pair<real_t<T>, real_t<T>> diag_abs_range(ConstMatrixView<T> a) {
+  const index_t k = std::min(a.rows(), a.cols());
+  if (k == 0) return {real_t<T>{}, real_t<T>{}};
+  real_t<T> lo = abs_val(a(0, 0));
+  real_t<T> hi = lo;
+  for (index_t i = 1; i < k; ++i) {
+    const real_t<T> v = abs_val(a(i, i));
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  return {lo, hi};
 }
 
 /// Squared Frobenius norm (no scaling; used in hot ACA loops).

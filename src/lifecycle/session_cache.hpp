@@ -1,0 +1,274 @@
+// Bounded multi-tenant session cache (DESIGN.md section 13): an LRU map
+// from operator id to a live serve::Session, under one global memory
+// budget with per-session byte accounting (Session::memory_bytes). Misses
+// run the caller's builder; sessions evicted under pressure can spill
+// their factors to disk through the factor store and come back later via
+// Session::restore (a cold-start, not a refactorization).
+//
+// Concurrency model: the cache map is internally synchronized; sessions
+// handed out are wrapped in a Pin that (a) blocks eviction of that entry
+// while alive and (b) serializes solve_now per session (Session::solve_now
+// is not thread-safe). Builders and spill/restore IO run OUTSIDE the map
+// lock for misses, so tenants building different operators proceed in
+// parallel; two threads asking for the SAME id wait on one build.
+#pragma once
+
+#include <condition_variable>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "common/counters.hpp"
+#include "lifecycle/config.hpp"
+#include "serve/solver_service.hpp"
+
+namespace hcham::lifecycle {
+
+template <typename T>
+class SessionCache {
+ public:
+  struct Options {
+    std::uint64_t max_bytes = 0;  ///< 0 = HCHAM_SESSION_CACHE_BYTES
+    std::string spill_dir;        ///< "" = HCHAM_FACTOR_STORE_DIR; still
+                                  ///< "" = discard on eviction
+  };
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t spills = 0;
+    std::uint64_t spill_reloads = 0;
+    std::uint64_t entries = 0;
+    std::uint64_t pinned = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t max_bytes = 0;
+  };
+
+  explicit SessionCache(Options opts = {}) : opts_(opts) {
+    const LifecycleConfig env = LifecycleConfig::from_env();
+    if (opts_.max_bytes == 0) opts_.max_bytes = env.session_cache_bytes;
+    if (opts_.spill_dir.empty()) opts_.spill_dir = env.factor_store_dir;
+  }
+  SessionCache(const SessionCache&) = delete;
+  SessionCache& operator=(const SessionCache&) = delete;
+
+  class Pin;
+
+  /// Return a pinned session for `id`: LRU hit, spill reload, or a fresh
+  /// `builder()` run (in that order). The returned Pin keeps the entry
+  /// resident until destroyed; solves go through Pin::solve_now.
+  template <typename Builder>
+  Pin get_or_build(const std::string& id, Builder&& builder) {
+    std::unique_lock<std::mutex> lk(mu_);
+    for (;;) {
+      auto it = map_.find(id);
+      if (it != map_.end()) {
+        entries_.splice(entries_.begin(), entries_, it->second);
+        ++stats_.hits;
+        lifecycle_counters().bump(lifecycle_counters().cache_hits);
+        return pin_locked(*it->second);
+      }
+      // Someone else is building this id: wait for their insert instead of
+      // duplicating an expensive factorization.
+      if (building_.count(id) == 0) break;
+      cv_.wait(lk);
+    }
+    ++stats_.misses;
+    lifecycle_counters().bump(lifecycle_counters().cache_misses);
+    const auto spilled = spilled_.find(id);
+    const bool reload = spilled != spilled_.end();
+    std::string spill_path;
+    serve::SessionOptions spill_opts;
+    if (reload) {
+      spill_path = spilled->second.path;
+      spill_opts = spilled->second.opts;
+    }
+    building_.insert(id);
+    lk.unlock();
+    std::shared_ptr<serve::Session<T>> session;
+    try {
+      if (reload) {
+        session = std::make_shared<serve::Session<T>>(
+            serve::Session<T>::restore(spill_path, spill_opts));
+      } else {
+        session = std::make_shared<serve::Session<T>>(builder());
+      }
+    } catch (...) {
+      lk.lock();
+      building_.erase(id);
+      cv_.notify_all();
+      throw;
+    }
+    lk.lock();
+    building_.erase(id);
+    if (reload) {
+      spilled_.erase(id);
+      ++stats_.spill_reloads;
+      lifecycle_counters().bump(lifecycle_counters().cache_spill_reloads);
+    }
+    auto entry = std::make_shared<Entry>();
+    entry->id = id;
+    entry->session = std::move(session);
+    entry->opts = entry->session->options();
+    entry->bytes = entry->session->memory_bytes();
+    entries_.push_front(entry);
+    map_[id] = entries_.begin();
+    stats_.bytes += entry->bytes;
+    Pin pin = pin_locked(entry);
+    evict_locked();
+    cv_.notify_all();
+    return pin;
+  }
+
+  bool contains(const std::string& id) {
+    std::lock_guard<std::mutex> lk(mu_);
+    return map_.count(id) != 0;
+  }
+  /// True when `id` currently lives on disk only (evicted with spill).
+  bool spilled(const std::string& id) {
+    std::lock_guard<std::mutex> lk(mu_);
+    return spilled_.count(id) != 0;
+  }
+
+  Stats stats() {
+    std::lock_guard<std::mutex> lk(mu_);
+    Stats s = stats_;
+    s.entries = entries_.size();
+    s.pinned = 0;
+    for (const auto& e : entries_)
+      if (e->pins > 0) ++s.pinned;
+    s.max_bytes = opts_.max_bytes;
+    return s;
+  }
+
+  /// JSON export (stable keys, EXPERIMENTS.md tooling).
+  std::string stats_json() {
+    const Stats s = stats();
+    std::ostringstream os;
+    os << "{\"hits\":" << s.hits << ",\"misses\":" << s.misses
+       << ",\"evictions\":" << s.evictions << ",\"spills\":" << s.spills
+       << ",\"spill_reloads\":" << s.spill_reloads
+       << ",\"entries\":" << s.entries << ",\"pinned\":" << s.pinned
+       << ",\"bytes\":" << s.bytes << ",\"max_bytes\":" << s.max_bytes << "}";
+    return os.str();
+  }
+
+  /// Mirror the tallies into a SolverService stats hub so they ride along
+  /// in its JSON snapshot (the "cache" section).
+  void record_to(serve::ServiceStats& stats) {
+    const Stats s = this->stats();
+    stats.record_cache(s.hits, s.misses, s.evictions, s.spills);
+  }
+
+ private:
+  struct Entry {
+    std::string id;
+    std::shared_ptr<serve::Session<T>> session;
+    serve::SessionOptions opts;  ///< for a later restore after spill
+    std::uint64_t bytes = 0;
+    int pins = 0;
+    std::mutex solve_mu;  ///< serializes solve_now across tenants
+  };
+  struct SpilledEntry {
+    std::string path;
+    serve::SessionOptions opts;
+  };
+
+ public:
+  /// RAII residency + solve handle. Holds the entry alive (shared_ptr)
+  /// and pinned (evict-proof) for its lifetime.
+  class Pin {
+   public:
+    Pin(Pin&& o) noexcept
+        : cache_(o.cache_), entry_(std::move(o.entry_)) {
+      o.cache_ = nullptr;
+    }
+    Pin& operator=(Pin&&) = delete;
+    Pin(const Pin&) = delete;
+    ~Pin() {
+      if (cache_ == nullptr) return;
+      std::lock_guard<std::mutex> lk(cache_->mu_);
+      --entry_->pins;
+      cache_->evict_locked();
+    }
+
+    serve::Session<T>& session() { return *entry_->session; }
+
+    /// Thread-safe per-entry solve: concurrent tenants of the same
+    /// operator serialize here (Session::solve_now is not re-entrant).
+    core::RefinementResult solve_now(la::MatrixView<T> b) {
+      std::lock_guard<std::mutex> lk(entry_->solve_mu);
+      return entry_->session->solve_now(b);
+    }
+
+   private:
+    friend class SessionCache;
+    Pin(SessionCache* cache, std::shared_ptr<Entry> entry)
+        : cache_(cache), entry_(std::move(entry)) {}
+    SessionCache* cache_;
+    std::shared_ptr<Entry> entry_;
+  };
+
+ private:
+  Pin pin_locked(std::shared_ptr<Entry> e) {
+    ++e->pins;
+    return Pin(this, std::move(e));
+  }
+
+  /// Drop unpinned LRU-tail entries until the budget holds (or everything
+  /// left is pinned). Spills persistable sessions when a spill dir is
+  /// configured; mixed-precision sessions have no restorable native
+  /// factors and are discarded outright.
+  void evict_locked() {
+    auto it = entries_.end();
+    while (stats_.bytes > opts_.max_bytes && it != entries_.begin()) {
+      --it;
+      Entry& e = **it;
+      if (e.pins > 0) continue;
+      if (!opts_.spill_dir.empty() && e.session->persistable() &&
+          !e.session->mixed_precision()) {
+        const std::string path =
+            opts_.spill_dir + "/" + sanitize(e.id) + ".hfac";
+        e.session->save_factors(path);
+        spilled_[e.id] = SpilledEntry{path, e.opts};
+        ++stats_.spills;
+        lifecycle_counters().bump(lifecycle_counters().cache_spills);
+      }
+      ++stats_.evictions;
+      lifecycle_counters().bump(lifecycle_counters().cache_evictions);
+      stats_.bytes -= e.bytes;
+      map_.erase(e.id);
+      it = entries_.erase(it);
+    }
+  }
+
+  static std::string sanitize(const std::string& id) {
+    std::string out = id;
+    for (char& c : out) {
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                      c == '-';
+      if (!ok) c = '_';
+    }
+    return out;
+  }
+
+  Options opts_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::list<std::shared_ptr<Entry>> entries_;  ///< MRU front, LRU back
+  std::unordered_map<std::string,
+                     typename std::list<std::shared_ptr<Entry>>::iterator>
+      map_;
+  std::unordered_map<std::string, SpilledEntry> spilled_;
+  std::unordered_set<std::string> building_;
+  Stats stats_;
+};
+
+}  // namespace hcham::lifecycle

@@ -163,6 +163,28 @@ class Accumulator {
   index_t budget_;
 };
 
+/// Exactness-first budget enforcement for operator-scope deltas (the
+/// lifecycle Woodbury accumulator): try to bring `c` at or under `budget`
+/// columns with the cheap pending-tail compaction first, then a full
+/// recompression under `params`. Unlike Accumulator::maybe_spill, the caller
+/// is expected to pass a TIGHT eps (well below the operator accuracy), so
+/// the compaction only sheds numerically redundant directions — the rank
+/// that remains is the honest rank of the accumulated delta. Returns the
+/// final rank; a result still above `budget` is the caller's rebase signal.
+template <typename T>
+index_t compact_to_budget(RkMatrix<T>& c, index_t budget,
+                          const TruncationParams& params) {
+  if (c.rank() <= budget) return c.rank();
+  if (c.compressed_rank() > 0 && c.has_pending()) {
+    arith_counters().bump(arith_counters().acc_compactions);
+    compact_tail(c, c.compressed_rank(), params);
+    if (c.rank() <= budget) return c.rank();
+  }
+  arith_counters().bump(arith_counters().acc_flushes);
+  truncate(c, params);
+  return c.rank();
+}
+
 /// One-shot deferred additions (the common call shape in the H-kernels).
 /// Because accumulation state lives in the target, constructing a transient
 /// Accumulator per call loses nothing.

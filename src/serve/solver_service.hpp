@@ -28,6 +28,7 @@
 #include "core/mixed.hpp"
 #include "core/refinement.hpp"
 #include "core/tile_h.hpp"
+#include "lifecycle/factor_store.hpp"
 #include "serve/request_queue.hpp"
 #include "serve/stats.hpp"
 
@@ -91,6 +92,12 @@ struct SessionOptions {
   /// Cache override for tests; null means GraphCache::global(). Ignored
   /// when use_graph_cache is false.
   rt::GraphCache* graph_cache = nullptr;
+  /// When non-empty, build() persists the freshly computed native factors
+  /// here (lifecycle/factor_store.hpp) so later processes can
+  /// Session::restore() instead of refactorizing. Not supported on the
+  /// mixed-precision path (the demoted factors are a preconditioner, not a
+  /// restorable operator) — build() throws if both are requested.
+  std::string save_factors_to;
 };
 
 /// Assembled operator + factors + private engine. Factor once, solve many;
@@ -108,6 +115,9 @@ class Session {
     Session s(opts);
     if constexpr (!std::is_same_v<T, demoted_t<T>>) {
       if (opts.factor.mixed()) {
+        HCHAM_CHECK_MSG(opts.save_factors_to.empty(),
+                        "save_factors_to is not supported with "
+                        "mixed-precision factorization");
         // Mixed path: assemble ONCE in T (it doubles as the refinement
         // operator), demote a structural copy, factorize the demoted one.
         // Refinement is mandatory — the fp32 factors are a preconditioner,
@@ -139,7 +149,55 @@ class Session {
     } else {
       s.factored_->factorize(*s.engine_, s.cache());
     }
+    if (!opts.save_factors_to.empty()) s.save_factors(opts.save_factors_to);
     return s;
+  }
+
+  /// Cold-start from factors previously saved with save_factors():
+  /// mmap + validate + tile fill, no assembly and no factorization. The
+  /// restored session serves plain (non-refined) solves; `opts` supplies
+  /// the engine shape and cache knobs, while the factor kind (LU vs
+  /// Cholesky) comes from the file. Throws hcham::Error on any validation
+  /// failure, leaving no partially-constructed session behind.
+  static Session restore(const std::string& path, SessionOptions opts) {
+    opts.refine_iters = 0;
+    opts.factor = core::FactorOptions{};  // the stored factors are native T
+    Session s(opts);
+    lifecycle::LoadedFactors<T> lf =
+        lifecycle::load_factors<T>(*s.engine_, path);
+    s.opts_.cholesky = lf.kind == lifecycle::FactorKind::Cholesky;
+    s.factored_ =
+        std::make_unique<core::TileHMatrix<T>>(std::move(lf.matrix));
+    return s;
+  }
+
+  /// Persist the native factors for a later restore(). Requires a
+  /// non-mixed session that finished build().
+  void save_factors(const std::string& path) const {
+    HCHAM_CHECK_MSG(factored_ != nullptr,
+                    "save_factors: session has no native factors");
+    lifecycle::save_factors(*factored_,
+                            opts_.cholesky ? lifecycle::FactorKind::Cholesky
+                                           : lifecycle::FactorKind::Lu,
+                            path);
+  }
+
+  /// True when save_factors() / cache spill can persist this session.
+  bool persistable() const { return factored_ != nullptr; }
+
+  /// Resident payload bytes across the held operators (factored + optional
+  /// refinement operator + demoted factors) — the SessionCache accounting
+  /// unit. Engine and queue overheads are deliberately excluded: they do
+  /// not scale with the operator.
+  std::uint64_t memory_bytes() const {
+    std::uint64_t b = 0;
+    if (factored_)
+      b += sizeof(T) * static_cast<std::uint64_t>(factored_->stored_elements());
+    if (op_) b += sizeof(T) * static_cast<std::uint64_t>(op_->stored_elements());
+    if (factored_lo_)
+      b += sizeof(demoted_t<T>) *
+           static_cast<std::uint64_t>(factored_lo_->stored_elements());
+    return b;
   }
 
   /// Solve A X = B in place on the session engine; refines when the

@@ -77,6 +77,12 @@ struct StatsSnapshot {
   /// replayed from the structure-keyed cache; see DESIGN.md section 10).
   std::uint64_t graph_captured = 0;
   std::uint64_t graph_replayed = 0;
+  /// Session-cache activity when the service fronts a lifecycle
+  /// SessionCache (DESIGN.md section 13); all zero otherwise.
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t cache_spills = 0;
   double p50_s = 0.0;
   double p95_s = 0.0;
   double p99_s = 0.0;
@@ -138,6 +144,16 @@ class ServiceStats {
     std::lock_guard<std::mutex> lk(mu_);
     mixed_ = mixed;
   }
+  /// Fold session-cache tallies in (same pattern as record_graph: the
+  /// owner re-records the current totals before snapshotting).
+  void record_cache(std::uint64_t hits, std::uint64_t misses,
+                    std::uint64_t evictions, std::uint64_t spills) {
+    std::lock_guard<std::mutex> lk(mu_);
+    cache_hits_ = hits;
+    cache_misses_ = misses;
+    cache_evictions_ = evictions;
+    cache_spills_ = spills;
+  }
 
   StatsSnapshot snapshot() const {
     std::lock_guard<std::mutex> lk(mu_);
@@ -153,6 +169,10 @@ class ServiceStats {
     s.queue_peak = peak_;
     s.graph_captured = graph_captured_;
     s.graph_replayed = graph_replayed_;
+    s.cache_hits = cache_hits_;
+    s.cache_misses = cache_misses_;
+    s.cache_evictions = cache_evictions_;
+    s.cache_spills = cache_spills_;
     s.mixed_precision = mixed_;
     s.p50_s = hist_.quantile(0.50);
     s.p95_s = hist_.quantile(0.95);
@@ -173,6 +193,10 @@ class ServiceStats {
   index_t peak_ = 0;
   std::uint64_t graph_captured_ = 0;
   std::uint64_t graph_replayed_ = 0;
+  std::uint64_t cache_hits_ = 0;
+  std::uint64_t cache_misses_ = 0;
+  std::uint64_t cache_evictions_ = 0;
+  std::uint64_t cache_spills_ = 0;
   bool mixed_ = false;
   LatencyHistogram hist_;
 };
@@ -189,6 +213,10 @@ inline std::string to_json(const StatsSnapshot& s) {
      << ",\"peak\":" << s.queue_peak << "}"
      << ",\"graph\":{\"captured\":" << s.graph_captured
      << ",\"replayed\":" << s.graph_replayed << "}"
+     << ",\"cache\":{\"hits\":" << s.cache_hits
+     << ",\"misses\":" << s.cache_misses
+     << ",\"evictions\":" << s.cache_evictions
+     << ",\"spills\":" << s.cache_spills << "}"
      << ",\"mixed_precision\":" << (s.mixed_precision ? "true" : "false")
      << ",\"latency_s\":{\"p50\":" << s.p50_s << ",\"p95\":" << s.p95_s
      << ",\"p99\":" << s.p99_s << "}}";

@@ -20,6 +20,7 @@
 #include "bem/testcase.hpp"
 #include "core/hchameleon.hpp"
 #include "core/mixed.hpp"
+#include "lifecycle/config.hpp"
 #include "serve/solver_service.hpp"
 #include "test_utils.hpp"
 
@@ -323,6 +324,41 @@ TEST(EnvBounded, FactorOptionsFromEnvParsesAndBounds) {
   EXPECT_DOUBLE_EQ(o.eps, 0.0);
   ::unsetenv("HCHAM_FACTOR_PRECISION");
   ::unsetenv("HCHAM_FACTOR_EPS");
+}
+
+TEST(EnvBounded, LifecycleConfigFromEnvParsesAndBounds) {
+  // Hostile values degrade to the defaults, never a clamp to an extreme.
+  ::setenv("HCHAM_WOODBURY_MAX_RANK", "-4", 1);
+  ::setenv("HCHAM_SESSION_CACHE_BYTES", "12", 1);  // below the 4 KiB floor
+  ::setenv("HCHAM_FACTOR_STORE_DIR", "/tmp/hcham_spill", 1);
+  auto c = lifecycle::LifecycleConfig::from_env();
+  EXPECT_EQ(c.woodbury_max_rank, 32);
+  EXPECT_EQ(c.session_cache_bytes, 256ull << 20);
+  EXPECT_EQ(c.factor_store_dir, "/tmp/hcham_spill");
+
+  ::setenv("HCHAM_WOODBURY_MAX_RANK", "not_a_number", 1);
+  ::setenv("HCHAM_SESSION_CACHE_BYTES", "99999999999999999999", 1);  // overflow
+  c = lifecycle::LifecycleConfig::from_env();
+  EXPECT_EQ(c.woodbury_max_rank, 32);
+  EXPECT_EQ(c.session_cache_bytes, 256ull << 20);
+
+  // In-range values are taken verbatim (bounds inclusive).
+  ::setenv("HCHAM_WOODBURY_MAX_RANK", "1", 1);
+  ::setenv("HCHAM_SESSION_CACHE_BYTES", "4096", 1);
+  c = lifecycle::LifecycleConfig::from_env();
+  EXPECT_EQ(c.woodbury_max_rank, 1);
+  EXPECT_EQ(c.session_cache_bytes, 4096u);
+  ::setenv("HCHAM_WOODBURY_MAX_RANK", "4096", 1);
+  c = lifecycle::LifecycleConfig::from_env();
+  EXPECT_EQ(c.woodbury_max_rank, 4096);
+
+  ::unsetenv("HCHAM_WOODBURY_MAX_RANK");
+  ::unsetenv("HCHAM_SESSION_CACHE_BYTES");
+  ::unsetenv("HCHAM_FACTOR_STORE_DIR");
+  c = lifecycle::LifecycleConfig::from_env();
+  EXPECT_EQ(c.woodbury_max_rank, 32);
+  EXPECT_EQ(c.session_cache_bytes, 256ull << 20);
+  EXPECT_TRUE(c.factor_store_dir.empty());
 }
 
 // demoted_t / convert_scalar sanity.
