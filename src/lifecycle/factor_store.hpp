@@ -128,6 +128,9 @@ class MapCursor {
   }
   void align64() { at_ = (at_ + 63) & ~std::size_t{63}; }
   std::size_t pos() const { return at_; }
+  /// Unread mapped bytes; bounds element counts read from the file before
+  /// anything is allocated from them (align64 may park at_ past the end).
+  std::size_t remaining() const { return at_ >= size_ ? 0 : size_ - at_; }
 
  private:
   template <typename T>
@@ -333,9 +336,14 @@ LoadedFactors<T> load_factors(rt::Engine& engine, const std::string& path) {
       static_cast<cluster::AdmissibilityCondition::Kind>(adm_kind);
   opts.hmatrix.compression.method =
       static_cast<rk::CompressionMethod>(method);
-  // Cluster tree block.
+  // Cluster tree block. Every element count from the file is bounded by
+  // the mapped bytes left to read BEFORE it sizes an allocation, so a
+  // corrupt or hostile header fails with a clean Error instead of
+  // bad_alloc / OOM.
   const index_t n_points = cur.i64();
-  if (n_points != n) throw Error("factor store: corrupt tree block in " + path);
+  if (n_points != n ||
+      static_cast<std::uint64_t>(n_points) > cur.remaining() / (3 * sizeof(double)))
+    throw Error("factor store: corrupt tree block in " + path);
   std::vector<cluster::Point3> points(static_cast<std::size_t>(n_points));
   for (cluster::Point3& p : points) {
     p.x = cur.f64();
@@ -343,11 +351,15 @@ LoadedFactors<T> load_factors(rt::Engine& engine, const std::string& path) {
     p.z = cur.f64();
   }
   const index_t n_perm = cur.i64();
-  if (n_perm != n) throw Error("factor store: corrupt tree block in " + path);
+  if (n_perm != n ||
+      static_cast<std::uint64_t>(n_perm) > cur.remaining() / sizeof(std::int64_t))
+    throw Error("factor store: corrupt tree block in " + path);
   std::vector<index_t> perm(static_cast<std::size_t>(n_perm));
   for (index_t& p : perm) p = cur.i64();
   const index_t n_nodes = cur.i64();
-  if (n_nodes < 0 || n_nodes > (1L << 32))
+  if (n_nodes < 0 ||
+      static_cast<std::uint64_t>(n_nodes) >
+          cur.remaining() / (4 * sizeof(std::int64_t)))
     throw Error("factor store: corrupt tree block in " + path);
   std::vector<cluster::ClusterTree::Node> nodes(
       static_cast<std::size_t>(n_nodes));
@@ -358,7 +370,8 @@ LoadedFactors<T> load_factors(rt::Engine& engine, const std::string& path) {
     nd.child[1] = cur.i64();
   }
   const index_t n_roots = cur.i64();
-  if (n_roots != num_tiles)
+  if (n_roots != num_tiles ||
+      static_cast<std::uint64_t>(n_roots) > cur.remaining() / sizeof(std::int64_t))
     throw Error("factor store: corrupt tree block in " + path);
   std::vector<index_t> roots(static_cast<std::size_t>(n_roots));
   for (index_t& r : roots) r = cur.i64();

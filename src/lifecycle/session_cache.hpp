@@ -8,12 +8,17 @@
 // Concurrency model: the cache map is internally synchronized; sessions
 // handed out are wrapped in a Pin that (a) blocks eviction of that entry
 // while alive and (b) serializes solve_now per session (Session::solve_now
-// is not thread-safe). Builders and spill/restore IO run OUTSIDE the map
-// lock for misses, so tenants building different operators proceed in
-// parallel; two threads asking for the SAME id wait on one build.
+// is not thread-safe). Builders and ALL spill/restore IO run OUTSIDE the
+// map lock (victims are detached under the lock, written after it drops),
+// so tenants building different operators proceed in parallel; two
+// threads asking for the SAME id wait on one build. A spill that fails
+// (missing dir, disk full) degrades to a plain discard and is counted in
+// failed_spills; a spill file that fails to restore is dropped and the
+// caller's builder runs instead.
 #pragma once
 
 #include <condition_variable>
+#include <cstdio>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -22,6 +27,7 @@
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
+#include <vector>
 
 #include "common/counters.hpp"
 #include "lifecycle/config.hpp"
@@ -43,6 +49,7 @@ class SessionCache {
     std::uint64_t misses = 0;
     std::uint64_t evictions = 0;
     std::uint64_t spills = 0;
+    std::uint64_t failed_spills = 0;  ///< spill IO errors (entry discarded)
     std::uint64_t spill_reloads = 0;
     std::uint64_t entries = 0;
     std::uint64_t pinned = 0;
@@ -82,7 +89,7 @@ class SessionCache {
     ++stats_.misses;
     lifecycle_counters().bump(lifecycle_counters().cache_misses);
     const auto spilled = spilled_.find(id);
-    const bool reload = spilled != spilled_.end();
+    bool reload = spilled != spilled_.end();
     std::string spill_path;
     serve::SessionOptions spill_opts;
     if (reload) {
@@ -94,11 +101,21 @@ class SessionCache {
     std::shared_ptr<serve::Session<T>> session;
     try {
       if (reload) {
-        session = std::make_shared<serve::Session<T>>(
-            serve::Session<T>::restore(spill_path, spill_opts));
-      } else {
-        session = std::make_shared<serve::Session<T>>(builder());
+        try {
+          session = std::make_shared<serve::Session<T>>(
+              serve::Session<T>::restore(spill_path, spill_opts));
+        } catch (...) {
+          // Deleted, truncated, or corrupt spill file: drop the spill
+          // record (and the stale file) and fall back to the caller's
+          // builder — a broken spill must not make the id unserveable.
+          std::remove(spill_path.c_str());
+          std::lock_guard<std::mutex> lk2(mu_);
+          spilled_.erase(id);
+          reload = false;
+        }
       }
+      if (session == nullptr)
+        session = std::make_shared<serve::Session<T>>(builder());
     } catch (...) {
       lk.lock();
       building_.erase(id);
@@ -121,8 +138,10 @@ class SessionCache {
     map_[id] = entries_.begin();
     stats_.bytes += entry->bytes;
     Pin pin = pin_locked(entry);
-    evict_locked();
+    std::vector<Victim> victims = detach_victims_locked();
     cv_.notify_all();
+    lk.unlock();
+    spill_victims(std::move(victims));
     return pin;
   }
 
@@ -153,6 +172,7 @@ class SessionCache {
     std::ostringstream os;
     os << "{\"hits\":" << s.hits << ",\"misses\":" << s.misses
        << ",\"evictions\":" << s.evictions << ",\"spills\":" << s.spills
+       << ",\"failed_spills\":" << s.failed_spills
        << ",\"spill_reloads\":" << s.spill_reloads
        << ",\"entries\":" << s.entries << ",\"pinned\":" << s.pinned
        << ",\"bytes\":" << s.bytes << ",\"max_bytes\":" << s.max_bytes << "}";
@@ -179,6 +199,12 @@ class SessionCache {
     std::string path;
     serve::SessionOptions opts;
   };
+  /// An entry detached from the LRU under mu_; its spill IO (if `path` is
+  /// set) runs after mu_ is released.
+  struct Victim {
+    std::shared_ptr<Entry> entry;
+    std::string path;  ///< empty = discard without spilling
+  };
 
  public:
   /// RAII residency + solve handle. Holds the entry alive (shared_ptr)
@@ -193,9 +219,15 @@ class SessionCache {
     Pin(const Pin&) = delete;
     ~Pin() {
       if (cache_ == nullptr) return;
-      std::lock_guard<std::mutex> lk(cache_->mu_);
-      --entry_->pins;
-      cache_->evict_locked();
+      std::vector<Victim> victims;
+      {
+        std::lock_guard<std::mutex> lk(cache_->mu_);
+        --entry_->pins;
+        victims = cache_->detach_victims_locked();
+      }
+      // Spill IO runs outside the lock; spill_victims never throws, so
+      // this (noexcept) destructor cannot terminate on an IO failure.
+      cache_->spill_victims(std::move(victims));
     }
 
     serve::Session<T>& session() { return *entry_->session; }
@@ -221,30 +253,52 @@ class SessionCache {
     return Pin(this, std::move(e));
   }
 
-  /// Drop unpinned LRU-tail entries until the budget holds (or everything
-  /// left is pinned). Spills persistable sessions when a spill dir is
-  /// configured; mixed-precision sessions have no restorable native
-  /// factors and are discarded outright.
-  void evict_locked() {
+  /// Detach unpinned LRU-tail entries until the budget holds (or
+  /// everything left is pinned). Persistable sessions come back with a
+  /// spill path when a spill dir is configured (mixed-precision sessions
+  /// have no restorable native factors and are discarded outright); the
+  /// spill IO itself runs in spill_victims, after mu_ is released.
+  std::vector<Victim> detach_victims_locked() {
+    std::vector<Victim> victims;
     auto it = entries_.end();
     while (stats_.bytes > opts_.max_bytes && it != entries_.begin()) {
       --it;
       Entry& e = **it;
       if (e.pins > 0) continue;
+      Victim v;
+      v.entry = *it;
       if (!opts_.spill_dir.empty() && e.session->persistable() &&
-          !e.session->mixed_precision()) {
-        const std::string path =
-            opts_.spill_dir + "/" + sanitize(e.id) + ".hfac";
-        e.session->save_factors(path);
-        spilled_[e.id] = SpilledEntry{path, e.opts};
-        ++stats_.spills;
-        lifecycle_counters().bump(lifecycle_counters().cache_spills);
-      }
+          !e.session->mixed_precision())
+        v.path = opts_.spill_dir + "/" + sanitize(e.id) + ".hfac";
       ++stats_.evictions;
       lifecycle_counters().bump(lifecycle_counters().cache_evictions);
       stats_.bytes -= e.bytes;
       map_.erase(e.id);
       it = entries_.erase(it);
+      victims.push_back(std::move(v));
+    }
+    return victims;
+  }
+
+  /// Spill detached victims to disk WITHOUT holding mu_, then record the
+  /// spill under the lock. A failed write (missing spill dir, disk full)
+  /// downgrades that eviction to a plain discard and counts
+  /// failed_spills — it never propagates, so Pin::~Pin stays noexcept-safe
+  /// and get_or_build never unwinds past a live map insert.
+  void spill_victims(std::vector<Victim> victims) {
+    for (Victim& v : victims) {
+      if (v.path.empty()) continue;
+      try {
+        v.entry->session->save_factors(v.path);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(mu_);
+        ++stats_.failed_spills;
+        continue;
+      }
+      std::lock_guard<std::mutex> lk(mu_);
+      spilled_[v.entry->id] = SpilledEntry{v.path, v.entry->opts};
+      ++stats_.spills;
+      lifecycle_counters().bump(lifecycle_counters().cache_spills);
     }
   }
 

@@ -21,6 +21,7 @@
 #pragma once
 
 #include <algorithm>
+#include <condition_variable>
 #include <limits>
 #include <mutex>
 #include <thread>
@@ -96,12 +97,11 @@ class UpdatableOperator {
     if (!prepared_) prepare_locked();
     if (cap_info_ != 0) {
       // Exactly singular capacitance (measure-zero safety net): fold the
-      // delta in and solve against the fresh factors.
-      if (rebase_running_) {
-        lk.unlock();
-        wait_rebase();
-        lk.lock();
-      }
+      // delta in and solve against the fresh factors. Wait out any
+      // background rebase first — the predicate wait re-checks under mu_,
+      // so a rebase_async started in an unlock window cannot slip past and
+      // read op_ while rebase_locked mutates it.
+      rebase_cv_.wait(lk, [this] { return !rebase_running_; });
       if (delta_.rank() > 0) rebase_locked();
       solve_base(b);
       return;
@@ -140,8 +140,10 @@ class UpdatableOperator {
   /// Fold the delta into A and refactorize, synchronously. Solves issued
   /// after return hit the fresh factors with an empty delta.
   void rebase() {
-    wait_rebase();
-    std::lock_guard<std::mutex> lk(mu_);
+    std::unique_lock<std::mutex> lk(mu_);
+    // Predicate wait: no unlock window where a fresh rebase_async could
+    // start unseen between "background rebase done" and rebase_locked().
+    rebase_cv_.wait(lk, [this] { return !rebase_running_; });
     if (delta_.rank() == 0 && !cap_ill_conditioned_) return;
     rebase_locked();
   }
@@ -159,6 +161,9 @@ class UpdatableOperator {
     la::Matrix<T> su = la::Matrix<T>::from_view(delta_.u().cview());
     la::Matrix<T> sv = la::Matrix<T>::from_view(delta_.v().cview());
     rebase_running_ = true;
+    // Reap a finished (rebase_running_ was false) predecessor before the
+    // handle is reused; it is past its critical section, so joining under
+    // mu_ only waits for thread teardown, never for mu_ itself.
     if (rebase_thread_.joinable()) rebase_thread_.join();
     rebase_thread_ = std::thread(
         [this, k0, su = std::move(su), sv = std::move(sv)]() mutable {
@@ -202,12 +207,22 @@ class UpdatableOperator {
           cap_info_ = 0;
           rebase_running_ = false;
           lifecycle_counters().bump(lifecycle_counters().woodbury_rebases);
+          rebase_cv_.notify_all();
         });
   }
 
-  /// Block until a pending rebase_async has swapped in (no-op otherwise).
+  /// Block until a pending rebase_async has swapped in (no-op otherwise)
+  /// and reap the finished background thread. The thread handle is only
+  /// touched under mu_ (rebase_async move-assigns it under the same lock);
+  /// the join itself runs after the lock drops.
   void wait_rebase() {
-    if (rebase_thread_.joinable()) rebase_thread_.join();
+    std::thread done;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      rebase_cv_.wait(lk, [this] { return !rebase_running_; });
+      done.swap(rebase_thread_);
+    }
+    if (done.joinable()) done.join();
   }
 
  private:
@@ -348,7 +363,8 @@ class UpdatableOperator {
   bool cap_ill_conditioned_ = false;
   bool prepared_ = false;
   bool rebase_running_ = false;
-  std::thread rebase_thread_;
+  std::condition_variable rebase_cv_;  ///< signaled when a rebase swaps in
+  std::thread rebase_thread_;          ///< guarded by mu_; joined unlocked
 };
 
 }  // namespace hcham::lifecycle

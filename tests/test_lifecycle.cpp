@@ -8,6 +8,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <string>
 #include <thread>
@@ -167,6 +168,24 @@ TEST(FactorStore, RejectsTruncatedCorruptedAndMismatchedFiles) {
   expect_error_containing(
       [&] { lifecycle::load_factors<float>(engine, f.path); },
       "scalar type mismatch");
+
+  // Hostile element counts must be rejected BEFORE they size an
+  // allocation (clean Error, not bad_alloc / OOM). Patch the node count
+  // deep in the tree block to 2^31 nodes (~100 GiB of Node storage) —
+  // far beyond what the mapped bytes could possibly hold.
+  {
+    std::vector<unsigned char> bad = good;
+    const std::size_t n_nodes_at =
+        lifecycle::detail::kHeaderBytes + 8 +
+        static_cast<std::size_t>(n) * 24 + 8 + static_cast<std::size_t>(n) * 8;
+    const std::int64_t huge = std::int64_t{1} << 31;
+    ASSERT_LT(n_nodes_at + sizeof huge, bad.size());
+    std::memcpy(bad.data() + n_nodes_at, &huge, sizeof huge);
+    write_file(f.path, bad);
+    expect_error_containing(
+        [&] { lifecycle::load_factors<double>(engine, f.path); },
+        "corrupt tree block");
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -426,6 +445,67 @@ TEST(SessionCache, SpillToDiskAndReload) {
   EXPECT_GE(s.evictions, 1u);
 }
 
+TEST(SessionCache, FailedSpillDegradesToDiscard) {
+  // The spill dir does not exist, so every eviction-time save_factors
+  // fails. That must degrade to a plain discard — counted, never thrown
+  // (the spill runs from Pin's noexcept destructor path).
+  SessionCache<double> cache(
+      {.max_bytes = one_session_bytes() * 3 / 2,
+       .spill_dir = "no_such_spill_dir.d"});
+  { auto p = cache.get_or_build("a", [] { return build_cache_session(6.0); }); }
+  { auto p = cache.get_or_build("b", [] { return build_cache_session(8.0); }); }
+  EXPECT_FALSE(cache.contains("a"));
+  EXPECT_FALSE(cache.spilled("a"));
+  const auto s = cache.stats();
+  EXPECT_GE(s.evictions, 1u);
+  EXPECT_EQ(s.spills, 0u);
+  EXPECT_GE(s.failed_spills, 1u);
+  // The discarded id stays serveable through its builder.
+  bool rebuilt = false;
+  {
+    auto p = cache.get_or_build("a", [&rebuilt] {
+      rebuilt = true;
+      return build_cache_session(6.0);
+    });
+    auto b = Matrix<double>::random(kCacheN, 1, 5);
+    p.solve_now(b.view());
+    EXPECT_TRUE(std::isfinite(la::norm_fro(b.cview())));
+  }
+  EXPECT_TRUE(rebuilt);
+}
+
+TEST(SessionCache, BrokenSpillFileFallsBackToBuilder) {
+  TempFile spill_a("a.hfac");
+  TempFile spill_b("b.hfac");  // b spills when a's rebuild re-evicts it
+  SessionCache<double> cache(
+      {.max_bytes = one_session_bytes() * 3 / 2, .spill_dir = "."});
+  { auto p = cache.get_or_build("a", [] { return build_cache_session(6.0); }); }
+  { auto p = cache.get_or_build("b", [] { return build_cache_session(8.0); }); }
+  ASSERT_TRUE(cache.spilled("a"));
+  // Sabotage the spill file: the reload must drop the spill record and
+  // fall back to the builder, not leave "a" permanently unserveable.
+  write_file(spill_a.path, {0xde, 0xad, 0xbe, 0xef});
+  bool rebuilt = false;
+  {
+    auto p = cache.get_or_build("a", [&rebuilt] {
+      rebuilt = true;
+      return build_cache_session(6.0);
+    });
+    auto b = Matrix<double>::random(kCacheN, 1, 7);
+    p.solve_now(b.view());
+    EXPECT_TRUE(std::isfinite(la::norm_fro(b.cview())));
+  }
+  EXPECT_TRUE(rebuilt);
+  EXPECT_FALSE(cache.spilled("a"));
+  // And the rebuilt entry serves hits like any other resident session.
+  {
+    auto p = cache.get_or_build("a", [] {
+      ADD_FAILURE() << "resident session must hit, not rebuild";
+      return build_cache_session(6.0);
+    });
+  }
+}
+
 TEST(SessionCache, ConcurrentTenantsAreSerializedPerSession) {
   SessionCache<double> cache(
       {.max_bytes = one_session_bytes() * 3 / 2, .spill_dir = ""});
@@ -463,8 +543,8 @@ TEST(SessionCache, StatsJsonHasStableKeys) {
   const std::string js = cache.stats_json();
   for (const char* key :
        {"\"hits\":", "\"misses\":", "\"evictions\":", "\"spills\":",
-        "\"spill_reloads\":", "\"entries\":", "\"pinned\":", "\"bytes\":",
-        "\"max_bytes\":"}) {
+        "\"failed_spills\":", "\"spill_reloads\":", "\"entries\":",
+        "\"pinned\":", "\"bytes\":", "\"max_bytes\":"}) {
     EXPECT_NE(js.find(key), std::string::npos) << key << " missing in " << js;
   }
   // And the tallies ride along in the ServiceStats JSON "cache" section.
