@@ -21,6 +21,7 @@
 #include "common/env.hpp"
 #include "common/json.hpp"
 #include "common/timer.hpp"
+#include "common/topology.hpp"
 #include "core/hchameleon.hpp"
 #include "runtime/simulator.hpp"
 
@@ -76,8 +77,15 @@ class BenchJson {
   bool write(const std::string& path) const {
     FILE* f = std::fopen(path.c_str(), "w");
     if (!f) return false;
-    std::fprintf(f, "{\n  \"git_rev\": \"%s\",\n  \"records\": [\n",
-                 json_escape(bench_git_rev()).c_str());
+    // Host topology stamp (EXPERIMENTS.md): perf trajectories are only
+    // comparable across revisions when the host shape is recorded next to
+    // the numbers.
+    std::fprintf(f,
+                 "{\n  \"git_rev\": \"%s\",\n  \"host\": "
+                 "{\"hardware_threads\": %d, \"numa_nodes\": %d, "
+                 "\"cache_line_bytes\": %d},\n  \"records\": [\n",
+                 json_escape(bench_git_rev()).c_str(), hardware_threads(),
+                 numa_node_count(), cache_line_bytes());
     for (std::size_t i = 0; i < records_.size(); ++i) {
       const BenchRecord& r = records_[i];
       std::fprintf(f,

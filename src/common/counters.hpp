@@ -120,6 +120,18 @@ struct RuntimeCounters {
   std::atomic<std::uint64_t> nested_inline{0};        ///< gate kept inline
   std::atomic<std::uint64_t> nested_tasks{0};
   std::atomic<std::uint64_t> nested_steals{0};
+  // Lock-light scheduler visibility (DESIGN.md section 14): top-level task
+  // steals (a pop served from another worker's queue), pops that found no
+  // victim at all, park/targeted-wake events, and the data-affinity placer's
+  // hit/miss split (hit = a ready task was routed to the worker owning the
+  // plurality of its input bytes; miss = no known writer, fell back to the
+  // releasing worker or the seed cursor).
+  std::atomic<std::uint64_t> ll_steals{0};
+  std::atomic<std::uint64_t> ll_failed_steals{0};
+  std::atomic<std::uint64_t> ll_parks{0};
+  std::atomic<std::uint64_t> ll_wakes{0};
+  std::atomic<std::uint64_t> affinity_hits{0};
+  std::atomic<std::uint64_t> affinity_misses{0};
 };
 
 inline RuntimeCounters& runtime_counters() {
@@ -140,6 +152,12 @@ struct RuntimeCounterSnapshot {
   std::uint64_t nested_inline = 0;
   std::uint64_t nested_tasks = 0;
   std::uint64_t nested_steals = 0;
+  std::uint64_t ll_steals = 0;
+  std::uint64_t ll_failed_steals = 0;
+  std::uint64_t ll_parks = 0;
+  std::uint64_t ll_wakes = 0;
+  std::uint64_t affinity_hits = 0;
+  std::uint64_t affinity_misses = 0;
 };
 
 inline RuntimeCounterSnapshot snapshot_runtime_counters() {
@@ -159,6 +177,12 @@ inline RuntimeCounterSnapshot snapshot_runtime_counters() {
   s.nested_inline = c.nested_inline.load(std::memory_order_relaxed);
   s.nested_tasks = c.nested_tasks.load(std::memory_order_relaxed);
   s.nested_steals = c.nested_steals.load(std::memory_order_relaxed);
+  s.ll_steals = c.ll_steals.load(std::memory_order_relaxed);
+  s.ll_failed_steals = c.ll_failed_steals.load(std::memory_order_relaxed);
+  s.ll_parks = c.ll_parks.load(std::memory_order_relaxed);
+  s.ll_wakes = c.ll_wakes.load(std::memory_order_relaxed);
+  s.affinity_hits = c.affinity_hits.load(std::memory_order_relaxed);
+  s.affinity_misses = c.affinity_misses.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -176,6 +200,12 @@ inline void reset_runtime_counters() {
   c.nested_inline.store(0, std::memory_order_relaxed);
   c.nested_tasks.store(0, std::memory_order_relaxed);
   c.nested_steals.store(0, std::memory_order_relaxed);
+  c.ll_steals.store(0, std::memory_order_relaxed);
+  c.ll_failed_steals.store(0, std::memory_order_relaxed);
+  c.ll_parks.store(0, std::memory_order_relaxed);
+  c.ll_wakes.store(0, std::memory_order_relaxed);
+  c.affinity_hits.store(0, std::memory_order_relaxed);
+  c.affinity_misses.store(0, std::memory_order_relaxed);
 }
 
 /// Process-wide tallies for the operator lifecycle layer (DESIGN.md

@@ -39,6 +39,7 @@ struct Task {
 
 struct HandleState {
   std::string name;
+  std::size_t bytes = 0;  ///< payload size (affinity edge weight; 0 = 1 vote)
   TaskId last_writer = -1;
   std::vector<TaskId> readers_since_write;
 };
@@ -222,6 +223,105 @@ struct Engine::Impl {
   /// captured graph's critical-path priorities (indexed by slot).
   std::vector<int> ll_prio;
 
+  // --- data-affinity scheduling state (DESIGN.md section 14) --------------
+  //
+  // Placement is a hint layered on top of the dependency graph: it decides
+  // WHICH ready queue a released task lands in, never WHEN it becomes
+  // ready, so any placement (including a racy or stale one) executes the
+  // same happens-before order and produces bit-identical results.
+  bool aff_track = false;  ///< collapse accesses at submit for affinity use
+  bool aff_epoch = false;  ///< placement active for the current epoch
+  int aff_steal_scan = 4;  ///< queued tasks scored per victim (env, per epoch)
+  /// Last worker that wrote each handle, persisted across epochs (a solve
+  /// epoch inherits the factorization's tile ownership). -1 = never written
+  /// on this engine's pool.
+  std::vector<int> h_last_worker;
+  /// Epoch view of h_last_worker, updated by workers as they finish writes
+  /// (relaxed: a stale read only costs locality, never correctness).
+  std::unique_ptr<std::atomic<int>[]> aff_owner;
+  std::size_t aff_owner_count = 0;
+  /// Intended owner per epoch task (index id - ll_base), set before the
+  /// task is queued; the steal scorer prefers tasks that were NOT routed to
+  /// their victim ("cold") when a steal is unavoidable.
+  std::unique_ptr<std::atomic<int>[]> ll_owner;
+  /// Input-handle signature per epoch task (index id - ll_base): one hash
+  /// bit per read/readwrite handle. Thieves take only tasks overlapping
+  /// their own recent-write signature in the first scan pass.
+  std::vector<std::uint64_t> aff_in_sig;
+
+  static std::uint64_t aff_sig_bit(index_t h) {
+    return std::uint64_t{1}
+           << ((static_cast<std::uint64_t>(h) * 0x9E3779B97F4A7C15ull) >> 58);
+  }
+
+  /// The placement gate, re-read per epoch so HCHAM_AFFINITY_DISABLE can
+  /// flip between epochs: affinity needs tracked accesses, a multi-worker
+  /// pool, and a policy with per-worker queues (prio's central heap has no
+  /// placement to speak of).
+  bool aff_enabled_epoch() const {
+    return aff_track && opts.num_workers > 1 &&
+           opts.policy != SchedulerPolicy::Priority && !affinity_disabled();
+  }
+
+  /// Size the epoch owner map to `nh` handles and load the persistent
+  /// last-writer view into it.
+  void aff_owner_setup(std::size_t nh) {
+    if (h_last_worker.size() < nh) h_last_worker.resize(nh, -1);
+    aff_owner = std::make_unique<std::atomic<int>[]>(nh);
+    aff_owner_count = nh;
+    for (std::size_t i = 0; i < nh; ++i)
+      aff_owner[i].store(h_last_worker[i], std::memory_order_relaxed);
+    aff_steal_scan = static_cast<int>(
+        env_long_bounded("HCHAM_AFFINITY_STEAL_SCAN", 4, 1, 64));
+  }
+
+  /// Persist the epoch's final owner view and drop the epoch arrays.
+  void aff_owner_teardown() {
+    for (std::size_t i = 0; i < aff_owner_count; ++i)
+      h_last_worker[i] = aff_owner[i].load(std::memory_order_relaxed);
+    aff_owner.reset();
+    aff_owner_count = 0;
+    ll_owner.reset();
+    aff_in_sig.clear();
+    aff_epoch = false;
+  }
+
+  /// Worker owning the plurality of the task's input bytes, or -1 when no
+  /// input has a known last writer. Ties go to the lowest worker.
+  int aff_input_owner(const Task& t) const {
+    std::uint64_t by_worker[64] = {0};
+    bool any = false;
+    for (const Access& a : t.accesses) {
+      if (a.mode == AccessMode::Write) continue;  // pure output
+      const auto h = static_cast<std::size_t>(a.handle.id);
+      if (h >= aff_owner_count) continue;
+      const int ow = aff_owner[h].load(std::memory_order_relaxed);
+      if (ow < 0 || ow >= opts.num_workers) continue;
+      const std::size_t b = handles[h].bytes;
+      by_worker[ow] += b ? b : 1;
+      any = true;
+    }
+    if (!any) return -1;
+    int best = -1;
+    std::uint64_t best_bytes = 0;
+    for (int v = 0; v < opts.num_workers; ++v)
+      if (by_worker[v] > best_bytes) {
+        best_bytes = by_worker[v];
+        best = v;
+      }
+    return best;
+  }
+
+  /// Replay placement: the captured graph's offline partition, valid only
+  /// when it was computed for this pool width.
+  int aff_replay_target(TaskId slot) const {
+    const CapturedGraph& g = *replay;
+    if (g.placement_workers != opts.num_workers ||
+        static_cast<std::size_t>(slot) >= g.placement.size())
+      return -1;
+    return g.placement[static_cast<std::size_t>(slot)];
+  }
+
   // Submission-phase stopwatch: opened by the first submit() of an epoch
   // (or by begin_replay) and closed on wait_all() entry. Feeds the
   // submit_live_ns / submit_replay_ns counters the overhead bench gates on.
@@ -231,6 +331,13 @@ struct Engine::Impl {
 
   explicit Impl(Options o) : opts(o) {
     HCHAM_CHECK(opts.num_workers >= 1);
+    // Decided once per engine: an engine built under HCHAM_AFFINITY_DISABLE
+    // never pays the access-collapse cost at submit (the referee engines of
+    // the property tests and the locality bench). The per-epoch placement
+    // gate re-reads the knob on top of this.
+    aff_track = opts.num_workers > 1 &&
+                opts.policy != SchedulerPolicy::Priority &&
+                !affinity_disabled();
   }
 
   bool all_drained() const {
@@ -589,7 +696,7 @@ struct Engine::Impl {
     pool.reserve(static_cast<std::size_t>(opts.num_workers));
     for (int w = 0; w < opts.num_workers; ++w)
       pool.emplace_back([this, w, t0] {
-        la::WorkspaceLease workspace_lease;
+        la::WorkspaceLease workspace_lease(w);
         worker_loop_locked(w, t0);
       });
     for (auto& th : pool) th.join();
@@ -640,7 +747,116 @@ struct Engine::Impl {
     }
   }
 
-  TaskId ll_pop(int w) {
+  /// Affinity-aware steal (DESIGN.md section 14), shared by the ws and lws
+  /// policies under aff_epoch. Pass 1 takes only tasks whose input handles
+  /// overlap the thief's recent-write signature, skipping victims with no
+  /// overlapping queued task; pass 2 (a steal is unavoidable) prefers a
+  /// task that was NOT routed to its victim ("cold") within the scan
+  /// window, falling back to the queue's steal-side default. Victims whose
+  /// occupancy mirror reads zero are skipped without locking in both
+  /// passes.
+  TaskId ll_steal_scored(int w, std::uint64_t my_sig) {
+    const bool is_ws = opts.policy == SchedulerPolicy::WorkStealing;
+    const auto scan = static_cast<std::size_t>(aff_steal_scan);
+    for (int pass = my_sig != 0 ? 0 : 1; pass < 2; ++pass) {
+      for (int d = 1; d < opts.num_workers; ++d) {
+        const int v = (w + d) % opts.num_workers;
+        auto& vq = *ll_workers[static_cast<std::size_t>(v)];
+        if (vq.size.load() == 0) continue;
+        std::lock_guard<std::mutex> lk(vq.mu);
+        const std::size_t n = is_ws ? vq.deque.size() : vq.heap.size();
+        if (n == 0) continue;
+        const std::size_t k = std::min(n, scan);
+        // Scan the steal side: the deque front for ws; for lws the heap's
+        // array head, which holds the highest-priority entries.
+        std::size_t take = n;
+        if (pass == 0) {
+          for (std::size_t i = 0; i < k; ++i) {
+            const TaskId id = is_ws ? vq.deque[i] : vq.heap[i];
+            if (aff_in_sig[static_cast<std::size_t>(id - ll_base)] & my_sig) {
+              take = i;
+              break;
+            }
+          }
+          if (take == n) continue;  // zero overlap here: skip this victim
+        } else {
+          take = 0;
+          for (std::size_t i = 0; i < k; ++i) {
+            const TaskId id = is_ws ? vq.deque[i] : vq.heap[i];
+            if (ll_owner[static_cast<std::size_t>(id - ll_base)].load(
+                    std::memory_order_relaxed) != v) {
+              take = i;
+              break;
+            }
+          }
+        }
+        TaskId id;
+        if (is_ws) {
+          id = vq.deque[take];
+          vq.deque.erase(vq.deque.begin() + static_cast<std::ptrdiff_t>(take));
+        } else {
+          id = vq.heap[take];
+          vq.heap[take] = vq.heap.back();
+          vq.heap.pop_back();
+          std::make_heap(vq.heap.begin(), vq.heap.end(),
+                         LLPrioLess{&ll_prio, ll_base});
+        }
+        vq.size.fetch_sub(1);
+        runtime_counters().ll_steals.fetch_add(1, std::memory_order_relaxed);
+        return id;
+      }
+    }
+    runtime_counters().ll_failed_steals.fetch_add(1,
+                                                  std::memory_order_relaxed);
+    return -1;
+  }
+
+  /// Route a batch of newly-ready tasks to their affinity targets — the
+  /// captured graph's offline placement under replay, the live last-writer
+  /// plurality otherwise — with one queue lock per distinct target, then
+  /// wake parked workers for every routed task this worker will not
+  /// immediately take itself. `self_busy` marks releases from inside a
+  /// fused chain, where the releasing worker keeps running the chain and
+  /// every routed task is surplus.
+  void ll_dispatch_affinity(int w, const std::vector<TaskId>& batch,
+                            std::vector<int>& targets,
+                            std::vector<TaskId>& sub, bool self_busy) {
+    targets.clear();
+    bool keeps = false;
+    auto& rc = runtime_counters();
+    for (const TaskId id : batch) {
+      int t = replay != nullptr
+                  ? aff_replay_target(id)
+                  : aff_input_owner(tasks[static_cast<std::size_t>(id)]);
+      if (t < 0) {
+        t = w;
+        rc.affinity_misses.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        rc.affinity_hits.fetch_add(1, std::memory_order_relaxed);
+      }
+      targets.push_back(t);
+      if (t == w) keeps = true;
+    }
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const int t = targets[i];
+      if (t < 0) continue;  // already pushed with an earlier group
+      sub.clear();
+      for (std::size_t j = i; j < batch.size(); ++j) {
+        if (targets[j] != t) continue;
+        sub.push_back(batch[j]);
+        targets[j] = -1;
+      }
+      for (const TaskId id : sub)
+        ll_owner[static_cast<std::size_t>(id - ll_base)].store(
+            t, std::memory_order_relaxed);
+      ll_push_batch(t, sub);
+    }
+    const auto wake =
+        static_cast<index_t>(batch.size()) - ((keeps && !self_busy) ? 1 : 0);
+    if (wake > 0) ll_wake(wake);
+  }
+
+  TaskId ll_pop(int w, std::uint64_t my_sig = 0) {
     switch (opts.policy) {
       case SchedulerPolicy::Priority: {
         if (prio_size.load() == 0) return -1;
@@ -664,6 +880,7 @@ struct Engine::Impl {
             return id;
           }
         }
+        if (aff_epoch) return ll_steal_scored(w, my_sig);
         // Steal from the most loaded worker (FIFO on the thief side); the
         // occupancy mirrors make victim selection lock-free.
         int victim = -1;
@@ -680,10 +897,15 @@ struct Engine::Impl {
         if (victim < 0) return -1;
         auto& vq = *ll_workers[static_cast<std::size_t>(victim)];
         std::lock_guard<std::mutex> lk(vq.mu);
-        if (vq.deque.empty()) return -1;
+        if (vq.deque.empty()) {
+          runtime_counters().ll_failed_steals.fetch_add(
+              1, std::memory_order_relaxed);
+          return -1;
+        }
         const TaskId id = vq.deque.front();
         vq.deque.pop_front();
         vq.size.fetch_sub(1);
+        runtime_counters().ll_steals.fetch_add(1, std::memory_order_relaxed);
         return id;
       }
       case SchedulerPolicy::LocalityWorkStealing: {
@@ -699,7 +921,9 @@ struct Engine::Impl {
             return id;
           }
         }
-        // Steal from neighbours in ring order, respecting priorities.
+        if (aff_epoch) return ll_steal_scored(w, my_sig);
+        // Steal from neighbours in ring order, respecting priorities; the
+        // occupancy mirrors skip empty victims without locking.
         for (int d = 1; d < opts.num_workers; ++d) {
           const int v = (w + d) % opts.num_workers;
           auto& vq = *ll_workers[static_cast<std::size_t>(v)];
@@ -711,8 +935,12 @@ struct Engine::Impl {
           const TaskId id = vq.heap.back();
           vq.heap.pop_back();
           vq.size.fetch_sub(1);
+          runtime_counters().ll_steals.fetch_add(1,
+                                                 std::memory_order_relaxed);
           return id;
         }
+        runtime_counters().ll_failed_steals.fetch_add(
+            1, std::memory_order_relaxed);
         return -1;
       }
     }
@@ -735,6 +963,7 @@ struct Engine::Impl {
         ++ws.wake_epoch;
       }
       ws.park_cv.notify_one();
+      runtime_counters().ll_wakes.fetch_add(1, std::memory_order_relaxed);
       --count;
     }
   }
@@ -769,8 +998,10 @@ struct Engine::Impl {
       // already bumped the epoch (publish precedes bump), so its work is
       // visible here and we must not sleep waiting for a second wake.
       if (remaining_ll.load() != 0 && !ll_has_ready() &&
-          nested_ready_total.load() == 0)
+          nested_ready_total.load() == 0) {
+        runtime_counters().ll_parks.fetch_add(1, std::memory_order_relaxed);
         me.park_cv.wait(lk, [&] { return me.wake_epoch != seen; });
+      }
     }
     parked_mask.fetch_and(~bit);
   }
@@ -871,11 +1102,18 @@ struct Engine::Impl {
   void ll_worker_loop(int w, const std::chrono::steady_clock::time_point t0) {
     auto& me = *ll_workers[static_cast<std::size_t>(w)];
     std::vector<TaskId> batch;
+    std::vector<int> targets;
+    std::vector<TaskId> sub;
+    // Recent-write signature for the steal scorer: reset every kSigDecay
+    // tasks so long epochs track what is still cache-warm, not history.
+    std::uint64_t my_sig = 0;
+    int sig_age = 0;
+    constexpr int kSigDecay = 128;
     int idle_rounds = 0;
     constexpr int kSpinRounds = 6;   // exponential pause backoff ...
     constexpr int kYieldRounds = 4;  // ... then yields, then park
     while (remaining_ll.load() != 0) {
-      const TaskId id = ll_pop(w);
+      const TaskId id = ll_pop(w, my_sig);
       if (id < 0) {
         // Idle: prefer stealing a nested task over backing off — the
         // sub-epoch's owner is blocked in wait() until it drains.
@@ -914,6 +1152,22 @@ struct Engine::Impl {
       t.duration_s = dur;
       t.done = true;
       t.pending = 0;
+      if (aff_epoch) {
+        // Publish write ownership before releasing successors, so a
+        // successor's placement sees this task's outputs as ours.
+        std::uint64_t bits = 0;
+        for (const Access& a : t.accesses) {
+          if (a.mode == AccessMode::Read) continue;
+          aff_owner[static_cast<std::size_t>(a.handle.id)].store(
+              w, std::memory_order_relaxed);
+          bits |= aff_sig_bit(a.handle.id);
+        }
+        if (++sig_age >= kSigDecay) {
+          my_sig = 0;
+          sig_age = 0;
+        }
+        my_sig |= bits;
+      }
       // Batched successor release: resolve all dependency counters first,
       // publish the newly-ready set with one lock, then hand the surplus
       // (everything this worker won't immediately run itself) to parked
@@ -924,9 +1178,13 @@ struct Engine::Impl {
                 1) == 1)
           batch.push_back(succ);
       if (!batch.empty()) {
-        ll_push_batch(w, batch);
-        if (batch.size() > 1)
-          ll_wake(static_cast<index_t>(batch.size()) - 1);
+        if (aff_epoch) {
+          ll_dispatch_affinity(w, batch, targets, sub, /*self_busy=*/false);
+        } else {
+          ll_push_batch(w, batch);
+          if (batch.size() > 1)
+            ll_wake(static_cast<index_t>(batch.size()) - 1);
+        }
       }
       if (opts.record_trace)
         me.local_trace.push_back(TraceEvent{t.id, w, start, start + dur});
@@ -949,11 +1207,30 @@ struct Engine::Impl {
     parked_mask.store(0);
   }
 
-  /// Seed one initially-ready task. The round-robin target is advanced for
+  /// Seed one initially-ready task. The round-robin cursor is advanced for
   /// every ready task under every policy (prio simply ignores it), exactly
-  /// like the simulator's seeding.
+  /// like the simulator's seeding — also when affinity overrides the
+  /// target, so the cursor positions tests assert stay policy-independent.
+  /// Under aff_epoch a seed whose inputs have a known last writer (tiles
+  /// factored in an earlier epoch, a replayed slot's offline placement)
+  /// goes to that owner instead of the cursor's worker.
   void ll_seed(TaskId id) {
-    const int target = next_seed_worker();
+    int target = next_seed_worker();
+    if (aff_epoch) {
+      const int own =
+          replay != nullptr
+              ? aff_replay_target(id)
+              : aff_input_owner(tasks[static_cast<std::size_t>(id)]);
+      auto& rc = runtime_counters();
+      if (own >= 0) {
+        target = own;
+        rc.affinity_hits.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        rc.affinity_misses.fetch_add(1, std::memory_order_relaxed);
+      }
+      ll_owner[static_cast<std::size_t>(id - ll_base)].store(
+          target, std::memory_order_relaxed);
+    }
     if (opts.policy == SchedulerPolicy::Priority) {
       prio_heap_ll.push_back(id);
       std::push_heap(prio_heap_ll.begin(), prio_heap_ll.end(),
@@ -991,9 +1268,22 @@ struct Engine::Impl {
     const int P = opts.num_workers;
     ll_reset_queues();
     ll_base = retired;
-    ll_prio.assign(tasks.size() - static_cast<std::size_t>(ll_base), 0);
-    pending_ll = std::make_unique<std::atomic<index_t>[]>(
-        tasks.size() - static_cast<std::size_t>(ll_base));
+    const std::size_t n_epoch = tasks.size() - static_cast<std::size_t>(ll_base);
+    ll_prio.assign(n_epoch, 0);
+    pending_ll = std::make_unique<std::atomic<index_t>[]>(n_epoch);
+    aff_epoch = aff_enabled_epoch();
+    if (aff_epoch) {
+      aff_owner_setup(handles.size());
+      ll_owner = std::make_unique<std::atomic<int>[]>(n_epoch);
+      aff_in_sig.assign(n_epoch, 0);
+      for (std::size_t i = static_cast<std::size_t>(retired);
+           i < tasks.size(); ++i) {
+        std::uint64_t sig = 0;
+        for (const Access& a : tasks[i].accesses)
+          if (a.mode != AccessMode::Write) sig |= aff_sig_bit(a.handle.id);
+        aff_in_sig[i - static_cast<std::size_t>(ll_base)] = sig;
+      }
+    }
     index_t rem = 0;
     for (std::size_t i = static_cast<std::size_t>(retired); i < tasks.size();
          ++i) {
@@ -1004,13 +1294,16 @@ struct Engine::Impl {
       ++rem;
       if (t.pending == 0) ll_seed(t.id);
     }
-    if (rem == 0) return;
+    if (rem == 0) {
+      if (aff_epoch) aff_owner_teardown();
+      return;
+    }
     remaining_ll.store(rem);
     std::vector<std::thread> pool;
     pool.reserve(static_cast<std::size_t>(P));
     for (int w = 0; w < P; ++w)
       pool.emplace_back([this, w, t0] {
-        la::WorkspaceLease workspace_lease;
+        la::WorkspaceLease workspace_lease(w);
         // Publish the worker context so tasks run here can open parallel
         // nested sub-epochs (and thieves arrive with an arena leased).
         tls_worker_pool = this;
@@ -1020,6 +1313,7 @@ struct Engine::Impl {
         tls_worker_id = -1;
       });
     for (auto& th : pool) th.join();
+    if (aff_epoch) aff_owner_teardown();
     merge_ll_trace();
   }
 
@@ -1059,6 +1353,8 @@ struct Engine::Impl {
     g->succ.reserve(static_cast<std::size_t>(g->succ_off[n]));
     g->acc_handle.reserve(static_cast<std::size_t>(g->acc_off[n]));
     g->acc_write.reserve(static_cast<std::size_t>(g->acc_off[n]));
+    g->acc_read.reserve(static_cast<std::size_t>(g->acc_off[n]));
+    g->acc_bytes.reserve(static_cast<std::size_t>(g->acc_off[n]));
     for (std::size_t i = 0; i < n; ++i) {
       const Task& t = tasks[static_cast<std::size_t>(base) + i];
       for (const TaskId s : t.successors) {
@@ -1070,11 +1366,16 @@ struct Engine::Impl {
       for (const Access& a : t.accesses) {
         g->acc_handle.push_back(a.handle.id);
         g->acc_write.push_back(a.mode == AccessMode::Read ? 0 : 1);
+        g->acc_read.push_back(a.mode == AccessMode::Write ? 0 : 1);
+        g->acc_bytes.push_back(static_cast<std::uint64_t>(
+            handles[static_cast<std::size_t>(a.handle.id)].bytes));
         g->max_handle = std::max(g->max_handle, a.handle.id);
       }
     }
     assign_critical_path_priorities(*g);
     fuse_linear_chains(*g);
+    if (!affinity_disabled())
+      assign_affinity_placement(*g, opts.num_workers);
     epochs_captured.fetch_add(1, std::memory_order_relaxed);
     runtime_counters().graph_captures.fetch_add(1,
                                                 std::memory_order_relaxed);
@@ -1185,11 +1486,16 @@ struct Engine::Impl {
     const CapturedGraph& g = *replay;
     auto& me = *ll_workers[static_cast<std::size_t>(w)];
     std::vector<TaskId> batch;
+    std::vector<int> targets;
+    std::vector<TaskId> sub;
+    std::uint64_t my_sig = 0;
+    int sig_age = 0;
+    constexpr int kSigDecay = 128;
     int idle_rounds = 0;
     constexpr int kSpinRounds = 6;   // exponential pause backoff ...
     constexpr int kYieldRounds = 4;  // ... then yields, then park
     while (remaining_ll.load() != 0) {
-      TaskId id = ll_pop(w);
+      TaskId id = ll_pop(w, my_sig);
       if (id < 0) {
         // Same nested-steal hook as the live loop: replayed tile tasks
         // re-run the gate and may open sub-epochs of their own.
@@ -1238,6 +1544,23 @@ struct Engine::Impl {
           std::lock_guard<std::mutex> lk(err_mu);
           if (!first_error) first_error = error;
         }
+        if (aff_epoch) {
+          std::uint64_t bits = 0;
+          for (index_t e = g.acc_off[slot]; e < g.acc_off[slot + 1]; ++e) {
+            const auto ei = static_cast<std::size_t>(e);
+            if (!g.acc_write[ei]) continue;
+            const index_t h = g.acc_handle[ei];
+            if (static_cast<std::size_t>(h) < aff_owner_count)
+              aff_owner[static_cast<std::size_t>(h)].store(
+                  w, std::memory_order_relaxed);
+            bits |= aff_sig_bit(h);
+          }
+          if (++sig_age >= kSigDecay) {
+            my_sig = 0;
+            sig_age = 0;
+          }
+          my_sig |= bits;
+        }
         const TaskId fused = g.fused_next[slot];
         batch.clear();
         for (index_t e = g.succ_off[slot]; e < g.succ_off[slot + 1]; ++e) {
@@ -1247,13 +1570,20 @@ struct Engine::Impl {
             batch.push_back(succ);
         }
         if (!batch.empty()) {
-          ll_push_batch(w, batch);
-          // With a fused tail this worker stays busy, so every released
-          // slot is surplus for parked workers; otherwise it takes one
-          // itself, as in the live path.
-          const auto surplus =
-              static_cast<index_t>(batch.size()) - (fused >= 0 ? 0 : 1);
-          if (surplus > 0) ll_wake(surplus);
+          if (aff_epoch) {
+            // With a fused tail this worker stays busy, so every routed
+            // slot is surplus for parked workers.
+            ll_dispatch_affinity(w, batch, targets, sub,
+                                 /*self_busy=*/fused >= 0);
+          } else {
+            ll_push_batch(w, batch);
+            // With a fused tail this worker stays busy, so every released
+            // slot is surplus for parked workers; otherwise it takes one
+            // itself, as in the live path.
+            const auto surplus =
+                static_cast<index_t>(batch.size()) - (fused >= 0 ? 0 : 1);
+            if (surplus > 0) ll_wake(surplus);
+          }
         }
         if (opts.record_trace)
           me.local_trace.push_back(TraceEvent{id, w, start, start + dur});
@@ -1277,18 +1607,38 @@ struct Engine::Impl {
     ll_prio = g.priority;
     pending_ll = std::make_unique<std::atomic<index_t>[]>(
         static_cast<std::size_t>(g.count));
+    aff_epoch = aff_enabled_epoch();
+    if (aff_epoch) {
+      aff_owner_setup(std::max(handles.size(),
+                               static_cast<std::size_t>(g.max_handle + 1)));
+      ll_owner = std::make_unique<std::atomic<int>[]>(
+          static_cast<std::size_t>(g.count));
+      aff_in_sig.assign(static_cast<std::size_t>(g.count), 0);
+      if (has_access_bytes(g))
+        for (std::size_t i = 0; i < static_cast<std::size_t>(g.count); ++i) {
+          std::uint64_t sig = 0;
+          for (index_t e = g.acc_off[i]; e < g.acc_off[i + 1]; ++e) {
+            const auto ei = static_cast<std::size_t>(e);
+            if (g.acc_read[ei]) sig |= aff_sig_bit(g.acc_handle[ei]);
+          }
+          aff_in_sig[i] = sig;
+        }
+    }
     for (index_t i = 0; i < g.count; ++i)
       pending_ll[static_cast<std::size_t>(i)].store(
           g.pending0[static_cast<std::size_t>(i)]);
     for (index_t i = 0; i < g.count; ++i)
       if (g.pending0[static_cast<std::size_t>(i)] == 0) ll_seed(i);
-    if (g.count == 0) return;
+    if (g.count == 0) {
+      if (aff_epoch) aff_owner_teardown();
+      return;
+    }
     remaining_ll.store(g.count);
     std::vector<std::thread> pool;
     pool.reserve(static_cast<std::size_t>(P));
     for (int w = 0; w < P; ++w)
       pool.emplace_back([this, w, t0] {
-        la::WorkspaceLease workspace_lease;
+        la::WorkspaceLease workspace_lease(w);
         tls_worker_pool = this;
         tls_worker_id = w;
         replay_worker_loop(w, t0);
@@ -1296,6 +1646,7 @@ struct Engine::Impl {
         tls_worker_id = -1;
       });
     for (auto& th : pool) th.join();
+    if (aff_epoch) aff_owner_teardown();
     merge_ll_trace();
   }
 
@@ -1320,12 +1671,12 @@ Engine::Engine() : Engine(Options{}) {}
 Engine::Engine(Options opts) : impl_(std::make_unique<Impl>(opts)) {}
 Engine::~Engine() = default;
 
-Handle Engine::register_data(std::string name) {
+Handle Engine::register_data(std::string name, std::size_t bytes) {
   // During replay no accesses are interpreted, so per-epoch scratch data
   // (e.g. the solver's RHS panels) gets a placeholder handle instead of
   // growing the engine's handle table on every replayed epoch.
   if (impl_->replay != nullptr) return Handle{-1};
-  impl_->handles.push_back(HandleState{std::move(name), -1, {}});
+  impl_->handles.push_back(HandleState{std::move(name), bytes, -1, {}});
   return Handle{static_cast<index_t>(impl_->handles.size()) - 1};
 }
 
@@ -1350,21 +1701,22 @@ TaskId Engine::submit(std::function<void()> fn, std::vector<Access> accesses,
   t.fn = std::move(fn);
   t.label = std::move(label);
   t.priority = priority;
-  if (impl_->opts.check_conflicts || impl_->capture_armed) {
-    // The checker needs the accesses at execution time, collapsed to one
-    // strongest mode per handle (a task may list a handle several times);
-    // a capture records the same collapsed lists so replays stay checkable.
+  if (impl_->opts.check_conflicts || impl_->capture_armed ||
+      impl_->aff_track) {
+    // The checker and the affinity placer need the accesses at execution
+    // time, collapsed to one mode per handle (a task may list a handle
+    // several times); a capture records the same collapsed lists so
+    // replays stay checkable. Mixed read+write collapses to ReadWrite —
+    // still exclusive for the checker, still an input for placement.
     for (const Access& a : accesses) {
-      const AccessMode m =
-          a.mode == AccessMode::Read ? AccessMode::Read : AccessMode::Write;
       auto it = std::find_if(t.accesses.begin(), t.accesses.end(),
                              [&a](const Access& b) {
                                return b.handle.id == a.handle.id;
                              });
       if (it == t.accesses.end())
-        t.accesses.push_back(Access{a.handle, m});
-      else if (m == AccessMode::Write)
-        it->mode = AccessMode::Write;
+        t.accesses.push_back(Access{a.handle, a.mode});
+      else if (it->mode != a.mode)
+        it->mode = AccessMode::ReadWrite;
     }
   }
   impl_->tasks.push_back(std::move(t));
@@ -1606,7 +1958,7 @@ NestedEpoch::~NestedEpoch() {
   impl_->eng->nested_live.fetch_sub(1);
 }
 
-Handle NestedEpoch::register_data(std::string) {
+Handle NestedEpoch::register_data(std::string, std::size_t) {
   NestedEpochImpl& im = *impl_;
   HCHAM_CHECK_MSG(!im.sealed, "NestedEpoch: register_data() after wait()");
   // Handles are sub-epoch-local; names are accepted for symmetry with

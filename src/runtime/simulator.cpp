@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <deque>
+#include <limits>
 #include <queue>
 #include <vector>
 
@@ -20,11 +21,17 @@ struct PrioLess {
   }
 };
 
-/// Scheduler state mirroring the engine's three policies.
+/// Scheduler state mirroring the engine's three policies. With `scored`
+/// (the affinity layer's scored stealing), a thief scans the victim's
+/// queue for a task preferring the thief before settling for the default
+/// steal slot — the simulator counterpart of the engine's signature-overlap
+/// pass. `pref` is the preferred-worker table filled by simulate().
 class SimScheduler {
  public:
-  SimScheduler(const TaskGraph& g, SchedulerPolicy policy, int workers)
-      : g_(&g), policy_(policy), workers_(workers) {
+  SimScheduler(const TaskGraph& g, SchedulerPolicy policy, int workers,
+               const std::vector<int>* pref, bool scored)
+      : g_(&g), policy_(policy), workers_(workers), pref_(pref),
+        scored_(scored) {
     deques_.resize(static_cast<std::size_t>(workers));
     heaps_.resize(static_cast<std::size_t>(workers));
   }
@@ -66,20 +73,41 @@ class SimScheduler {
           own.pop_back();
           break;
         }
+        // Victim selection. Unscored: the longest queue. Scored (the
+        // affinity layer's two-pass steal): a victim whose steal slot
+        // prefers the thief, then one whose slot is cold (never placed),
+        // then the longest queue. Only the slot the steal would take is
+        // inspected — scoring never reorders a victim's queue.
         int victim = -1;
-        std::size_t best = 0;
-        for (int v = 0; v < workers_; ++v) {
-          if (v == w) continue;
-          const std::size_t sz = deques_[static_cast<std::size_t>(v)].size();
-          if (sz > best) {
-            best = sz;
-            victim = v;
+        if (scored_) {
+          int cold = -1;
+          for (int v = 0; v < workers_ && victim < 0; ++v) {
+            if (v == w) continue;
+            const auto& q = deques_[static_cast<std::size_t>(v)];
+            if (q.empty()) continue;
+            const int p = (*pref_)[static_cast<std::size_t>(q.front())];
+            if (p == w) victim = v;
+            else if (p < 0 && cold < 0) cold = v;
+          }
+          if (victim < 0) victim = cold;
+        }
+        if (victim < 0) {
+          std::size_t best = 0;
+          for (int v = 0; v < workers_; ++v) {
+            if (v == w) continue;
+            const std::size_t sz =
+                deques_[static_cast<std::size_t>(v)].size();
+            if (sz > best) {
+              best = sz;
+              victim = v;
+            }
           }
         }
         if (victim < 0) return -1;
         auto& vq = deques_[static_cast<std::size_t>(victim)];
         id = vq.front();
         vq.pop_front();
+        ++steals_;
         break;
       }
       case SchedulerPolicy::LocalityWorkStealing: {
@@ -90,15 +118,32 @@ class SimScheduler {
           own.pop_back();
           break;
         }
-        for (int d = 1; d < workers_ && id < 0; ++d) {
-          const int v = (w + d) % workers_;
-          auto& vq = heaps_[static_cast<std::size_t>(v)];
-          if (vq.empty()) continue;
-          std::pop_heap(vq.begin(), vq.end(), PrioLess{g_});
-          id = vq.back();
-          vq.pop_back();
+        // Ring scan. Scored: first ring pass for a victim whose heap top
+        // prefers the thief, second for a cold top; the steal itself
+        // always pops the victim's top so priority order is untouched.
+        int victim = -1;
+        if (scored_) {
+          int cold = -1;
+          for (int d = 1; d < workers_ && victim < 0; ++d) {
+            const int v = (w + d) % workers_;
+            const auto& q = heaps_[static_cast<std::size_t>(v)];
+            if (q.empty()) continue;
+            const int p = (*pref_)[static_cast<std::size_t>(q.front())];
+            if (p == w) victim = v;
+            else if (p < 0 && cold < 0) cold = v;
+          }
+          if (victim < 0) victim = cold;
         }
-        if (id < 0) return -1;
+        for (int d = 1; d < workers_ && victim < 0; ++d) {
+          const int v = (w + d) % workers_;
+          if (!heaps_[static_cast<std::size_t>(v)].empty()) victim = v;
+        }
+        if (victim < 0) return -1;
+        auto& vq = heaps_[static_cast<std::size_t>(victim)];
+        std::pop_heap(vq.begin(), vq.end(), PrioLess{g_});
+        id = vq.back();
+        vq.pop_back();
+        ++steals_;
         break;
       }
     }
@@ -107,12 +152,16 @@ class SimScheduler {
   }
 
   index_t size() const { return size_; }
+  index_t steals() const { return steals_; }
 
  private:
   const TaskGraph* g_;
   SchedulerPolicy policy_;
   int workers_;
+  const std::vector<int>* pref_;
+  bool scored_;
   index_t size_ = 0;
+  index_t steals_ = 0;
   std::vector<TaskId> prio_;
   std::vector<std::deque<TaskId>> deques_;
   std::vector<std::vector<TaskId>> heaps_;
@@ -170,7 +219,18 @@ SimResult simulate(const TaskGraph& g, SchedulerPolicy policy, int workers,
     }
   }
 
-  SimScheduler sched(g, policy, workers);
+  // Preferred worker per task: wherever its earliest-submitted predecessor
+  // ran. In the right-looking tiled factorizations this library submits,
+  // the oldest dependency of a task is the previous in-place update of the
+  // tile the task writes (the accumulation chain), i.e. the last writer of
+  // its dominant datum — the simulator counterpart of the engine's
+  // per-handle last-writer table. Filled incrementally as predecessors
+  // finish; final by the time the task is ready.
+  std::vector<int> pref(static_cast<std::size_t>(n), -1);
+  std::vector<TaskId> pref_src(static_cast<std::size_t>(n),
+                               std::numeric_limits<TaskId>::max());
+
+  SimScheduler sched(g, policy, workers, &pref, params.affinity_placement);
   int seed_rr = 0;
   auto next_seed = [&] {
     const int w = seed_rr;
@@ -221,6 +281,10 @@ SimResult simulate(const TaskGraph& g, SchedulerPolicy policy, int workers,
         start = runtime_free;
       }
       double dur = effective_duration(id);
+      if (pref[static_cast<std::size_t>(id)] == w) {
+        ++result.affinity_hits;
+        if (params.locality_gain > 0.0) dur *= 1.0 - params.locality_gain;
+      }
       worker_busy[static_cast<std::size_t>(w)] = 1;
       // Nested sub-epoch split: workers that would otherwise idle (more
       // idle peers than ready tasks) co-execute a long task's inner DAG.
@@ -274,9 +338,28 @@ SimResult simulate(const TaskGraph& g, SchedulerPolicy policy, int workers,
       helpers_of[static_cast<std::size_t>(e.task)].clear();
       for (const TaskId s :
            g.nodes[static_cast<std::size_t>(e.task)].successors) {
+        if (e.task < pref_src[static_cast<std::size_t>(s)]) {
+          pref_src[static_cast<std::size_t>(s)] = e.task;
+          pref[static_cast<std::size_t>(s)] = e.worker;
+        }
         if (--pending[static_cast<std::size_t>(s)] != 0) continue;
+        // Placement routing: a replayed epoch honors the offline
+        // partitioner's slot when one is supplied, otherwise the live
+        // last-writer preference — route the ready task to the worker that
+        // holds its dominant input, not to whoever happened to release it.
+        int target = e.worker;
+        if (params.affinity_placement) {
+          if (params.placement != nullptr &&
+              static_cast<std::size_t>(s) < params.placement->size() &&
+              (*params.placement)[static_cast<std::size_t>(s)] >= 0 &&
+              (*params.placement)[static_cast<std::size_t>(s)] < workers) {
+            target = (*params.placement)[static_cast<std::size_t>(s)];
+          } else if (pref[static_cast<std::size_t>(s)] >= 0) {
+            target = pref[static_cast<std::size_t>(s)];
+          }
+        }
         if (release[static_cast<std::size_t>(s)] <= now) {
-          sched.push(s, e.worker);
+          sched.push(s, target);
         } else {
           events.push(
               Event{release[static_cast<std::size_t>(s)], -1, s, true});
@@ -285,6 +368,7 @@ SimResult simulate(const TaskGraph& g, SchedulerPolicy policy, int workers,
     }
     assign_idle(now);
   }
+  result.steals = sched.steals();
   result.makespan_s = now;
   return result;
 }

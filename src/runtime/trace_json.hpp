@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/counters.hpp"
 #include "common/json.hpp"
 #include "runtime/types.hpp"
 
@@ -30,6 +31,17 @@ inline void trace_to_json(const std::vector<TraceEvent>& trace,
         << "\"tid\": " << ev.worker << ", \"ts\": " << ev.start_s * 1e6
         << ", \"dur\": " << (ev.end_s - ev.start_s) * 1e6 << "}";
   }
+  // Scheduler-visibility counters as one Chrome counter sample; these are
+  // process-wide tallies at export time, not per-trace deltas (difference
+  // two exports to attribute them to one run).
+  const RuntimeCounterSnapshot rc = snapshot_runtime_counters();
+  if (!first) out << ",\n";
+  out << "  {\"name\": \"scheduler\", \"ph\": \"C\", \"pid\": 0, \"ts\": 0, "
+      << "\"args\": {\"ll_steals\": " << rc.ll_steals
+      << ", \"ll_failed_steals\": " << rc.ll_failed_steals
+      << ", \"ll_parks\": " << rc.ll_parks << ", \"ll_wakes\": " << rc.ll_wakes
+      << ", \"affinity_hits\": " << rc.affinity_hits
+      << ", \"affinity_misses\": " << rc.affinity_misses << "}}";
   out << "\n]\n";
 }
 

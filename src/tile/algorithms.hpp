@@ -126,7 +126,14 @@ struct RhsPanels {
     width = panel_width > 0 ? std::min(panel_width, nrhs) : nrhs;
     npanels = ceil_div(nrhs, width);
     handles.resize(static_cast<std::size_t>(a.nt() * npanels));
-    for (auto& h : handles) h = engine.register_data("rhs");
+    for (index_t k = 0; k < a.nt(); ++k)
+      for (index_t p = 0; p < npanels; ++p)
+        handles[static_cast<std::size_t>(k * npanels + p)] =
+            engine.register_data(
+                "rhs", static_cast<std::size_t>(a.tile_rows(k)) *
+                           static_cast<std::size_t>(std::min(
+                               width, b.cols() - p * width)) *
+                           sizeof(T));
   }
 
   rt::Handle handle(index_t k, index_t p) const {

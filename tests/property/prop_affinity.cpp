@@ -1,0 +1,209 @@
+// Determinism contract of the data-affinity scheduling layer (DESIGN.md
+// section 14): last-writer placement, scored stealing, and offline
+// partitioned replay are pure routing hints — STF fixes every per-datum
+// operation order at submission, so the Tile-H LU factors AND solves must
+// be bit-identical to the HCHAM_AFFINITY_DISABLE=1 referee under every
+// policy and worker count, live and under replayed epochs. Any divergence
+// means placement leaked into the happens-before order.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "bem/testcase.hpp"
+#include "core/tile_h.hpp"
+#include "prop_utils.hpp"
+#include "runtime/engine.hpp"
+#include "runtime/graph_cache.hpp"
+
+namespace hcham {
+namespace {
+
+using bem::FemBemProblem;
+using core::TileHMatrix;
+using core::TileHOptions;
+using rt::Engine;
+using rt::GraphCache;
+using rt::SchedulerPolicy;
+using hcham::testing::prop::check_with_shrink;
+using hcham::testing::prop::ProblemConfig;
+using hcham::testing::prop::Sweep;
+using hcham::testing::prop::sweep_name;
+
+/// RAII env override; the affinity knobs are re-read per epoch, but the
+/// engine also latches the master switch at construction, so referee
+/// engines are constructed inside the scope.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    ::setenv(name, value, 1);
+  }
+  ~ScopedEnv() { ::unsetenv(name_); }
+
+ private:
+  const char* name_;
+};
+
+/// seed x {ws, lws, prio} x {1, 2, 4, 8} workers; 8 oversubscribes this
+/// host, which is exactly when mis-routed placement would surface.
+std::vector<Sweep> affinity_sweep(std::uint64_t seed = 17) {
+  std::vector<Sweep> out;
+  for (const SchedulerPolicy p :
+       {SchedulerPolicy::WorkStealing, SchedulerPolicy::LocalityWorkStealing,
+        SchedulerPolicy::Priority})
+    for (const int w : {1, 2, 4, 8}) out.push_back(Sweep{seed, p, w});
+  return out;
+}
+
+TileHOptions tileh_options(const ProblemConfig& c) {
+  TileHOptions opts;
+  opts.tile_size = c.tile_size;
+  opts.clustering.leaf_size = c.leaf_size;
+  opts.hmatrix.compression.eps = c.eps;
+  return opts;
+}
+
+std::optional<std::string> compare_bits(const la::Matrix<double>& got,
+                                        const la::Matrix<double>& want,
+                                        const char* what) {
+  for (index_t j = 0; j < want.cols(); ++j)
+    for (index_t i = 0; i < want.rows(); ++i)
+      if (got(i, j) != want(i, j)) {
+        std::ostringstream s;
+        s << what << " entry (" << i << "," << j
+          << ") diverged from the DISABLE=1 referee: " << got(i, j) << " vs "
+          << want(i, j);
+        return s.str();
+      }
+  return std::nullopt;
+}
+
+/// Factor + solve one drawn problem; returns {factors, solution}.
+struct RunResult {
+  la::Matrix<double> factors;
+  la::Matrix<double> solution;
+};
+
+RunResult run_lu_solve(const ProblemConfig& c, const Sweep& sw) {
+  FemBemProblem<double> problem(c.n, 1.0, c.height);
+  auto gen = [&problem](index_t i, index_t j) { return problem.entry(i, j); };
+  Engine eng({.num_workers = sw.workers, .policy = sw.policy});
+  auto a = TileHMatrix<double>::build(eng, problem.points(), gen,
+                                      tileh_options(c));
+  a.factorize(eng);
+  RunResult out;
+  out.factors = a.to_dense_original();
+  la::Matrix<double> b(a.size(), 2);
+  for (index_t j = 0; j < b.cols(); ++j)
+    for (index_t i = 0; i < b.rows(); ++i)
+      b(i, j) = 1.0 + static_cast<double>(i % 7) +
+                0.5 * static_cast<double>(j);
+  a.solve(eng, b.view());
+  out.solution = std::move(b);
+  return out;
+}
+
+class AffinityLive : public ::testing::TestWithParam<Sweep> {};
+
+TEST_P(AffinityLive, FactorsAndSolvesBitMatchDisabledReferee) {
+  const Sweep sw = GetParam();
+  Rng rng(sw.seed);
+  check_with_shrink(
+      sw, ProblemConfig::draw(rng),
+      [&sw](const ProblemConfig& c) -> std::optional<std::string> {
+        try {
+          std::optional<RunResult> ref;
+          {
+            ScopedEnv off("HCHAM_AFFINITY_DISABLE", "1");
+            ref = run_lu_solve(c, sw);
+          }
+          const RunResult got = run_lu_solve(c, sw);  // affinity on
+          if (auto d = compare_bits(got.factors, ref->factors, "factor"))
+            return d;
+          return compare_bits(got.solution, ref->solution, "solution");
+        } catch (const std::exception& e) {
+          return std::string("exception: ") + e.what();
+        }
+      });
+}
+
+INSTANTIATE_TEST_SUITE_P(Prop, AffinityLive,
+                         ::testing::ValuesIn(affinity_sweep()), sweep_name);
+
+/// Same contract under replayed epochs: capture the factorization and the
+/// solve through a GraphCache (offline partitioning runs at capture), then
+/// replay both against a fresh identical matrix — the replayed results must
+/// still bit-match the DISABLE=1 referee.
+RunResult run_lu_solve_cached(const ProblemConfig& c, const Sweep& sw,
+                              bool* replayed) {
+  FemBemProblem<double> problem(c.n, 1.0, c.height);
+  auto gen = [&problem](index_t i, index_t j) { return problem.entry(i, j); };
+  Engine eng({.num_workers = sw.workers, .policy = sw.policy});
+  GraphCache cache(8);
+  auto make_b = [](const index_t n) {
+    la::Matrix<double> b(n, 2);
+    for (index_t j = 0; j < b.cols(); ++j)
+      for (index_t i = 0; i < b.rows(); ++i)
+        b(i, j) = 1.0 + static_cast<double>(i % 7) +
+                  0.5 * static_cast<double>(j);
+    return b;
+  };
+  {
+    // Capture epoch: factor + solve a doomed twin, priming the cache.
+    auto doomed = TileHMatrix<double>::build(eng, problem.points(), gen,
+                                             tileh_options(c));
+    doomed.factorize(eng, &cache);
+    la::Matrix<double> b = make_b(doomed.size());
+    doomed.solve(eng, b.view(), /*panel_width=*/0, &cache);
+  }
+  const auto replayed_before = eng.replay_stats().replayed;
+  auto a = TileHMatrix<double>::build(eng, problem.points(), gen,
+                                      tileh_options(c));
+  a.factorize(eng, &cache);
+  RunResult out;
+  out.factors = a.to_dense_original();
+  la::Matrix<double> b = make_b(a.size());
+  a.solve(eng, b.view(), /*panel_width=*/0, &cache);
+  out.solution = std::move(b);
+  if (replayed)
+    *replayed = eng.replay_stats().replayed >= replayed_before + 2;
+  return out;
+}
+
+class AffinityReplay : public ::testing::TestWithParam<Sweep> {};
+
+TEST_P(AffinityReplay, ReplayedFactorsAndSolvesBitMatchDisabledReferee) {
+  const Sweep sw = GetParam();
+  Rng rng(sw.seed);
+  check_with_shrink(
+      sw, ProblemConfig::draw(rng),
+      [&sw](const ProblemConfig& c) -> std::optional<std::string> {
+        try {
+          std::optional<RunResult> ref;
+          {
+            ScopedEnv off("HCHAM_AFFINITY_DISABLE", "1");
+            ref = run_lu_solve(c, sw);
+          }
+          bool replayed = false;
+          const RunResult got = run_lu_solve_cached(c, sw, &replayed);
+          if (!replayed)
+            return std::string(
+                "cache primed but the second factor+solve did not replay");
+          if (auto d = compare_bits(got.factors, ref->factors,
+                                    "replayed factor"))
+            return d;
+          return compare_bits(got.solution, ref->solution,
+                              "replayed solution");
+        } catch (const std::exception& e) {
+          return std::string("exception: ") + e.what();
+        }
+      });
+}
+
+INSTANTIATE_TEST_SUITE_P(Prop, AffinityReplay,
+                         ::testing::ValuesIn(affinity_sweep()), sweep_name);
+
+}  // namespace
+}  // namespace hcham
